@@ -1,0 +1,1 @@
+bench/timing.ml: Format Int64 List Monotonic_clock

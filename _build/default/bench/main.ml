@@ -1,0 +1,51 @@
+(* Benchmark driver: regenerates every table (T1-T4) and figure
+   (F1-F5) of EXPERIMENTS.md, plus the Bechamel microbenchmark suite.
+
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- t3 f1        run selected experiments
+     dune exec bench/main.exe -- --list       list experiment ids
+     dune exec bench/main.exe -- --bechamel   microbenchmarks only
+     dune exec bench/main.exe -- --quick      tables only (no timing) *)
+
+let experiments =
+  [
+    "t1", "applet file-sharing matrix (paper 2.2)", Tables.t1;
+    "t2", "ThreadMurder containment (paper 1.2)", Tables.t2;
+    "t3", "policy expressiveness across models (paper 1.2, 2)", Tables.t3;
+    "t4", "three prongs vs central monitor, fault injection (paper 1.2)", Tables.t4;
+    "f1", "check cost vs ACL length and policy layers", Figures.f1;
+    "f2", "resolution cost vs path depth, checked vs raw", Figures.f2;
+    "f3", "class-indexed handler selection vs variants", Figures.f3;
+    "f4", "illegal flows admitted, DAC-only vs DAC+MAC", Figures.f4;
+    "f5", "link-time vs per-call import checks", Figures.f5;
+    "f6", "name-space scale: lookup/insert vs population", Figures.f6;
+    "a1", "ablation: audit-record overhead", Ablations.a1;
+    "a2", "ablation: per-layer cost and flow violations", Ablations.a2;
+    "a3", "ablation: nested-group membership depth", Ablations.a3;
+    "a4", "ablation: policy-file parse/build throughput", Ablations.a4;
+    "a5", "ablation: quota charging overhead", Ablations.a5;
+  ]
+
+let list_experiments () =
+  Format.printf "available experiments:@.";
+  List.iter (fun (id, what, _) -> Format.printf "  %-4s %s@." id what) experiments;
+  Format.printf "  %-4s %s@." "--bechamel" "Bechamel microbenchmark suite"
+
+let run_one id =
+  match List.find_opt (fun (name, _, _) -> String.equal name id) experiments with
+  | Some (_, _, run) -> run ()
+  | None ->
+    Format.printf "unknown experiment %S@." id;
+    list_experiments ();
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_experiments ()
+  | [ "--bechamel" ] -> Bech.run ()
+  | [ "--quick" ] -> List.iter run_one [ "t1"; "t2"; "t3"; "t4"; "f4" ]
+  | [] ->
+    List.iter (fun (id, _, _) -> run_one id) experiments;
+    Bech.run ()
+  | ids -> List.iter run_one ids

@@ -1,0 +1,410 @@
+(* exsecd: a command-line driver for the extensible-system security
+   model — run the paper's scenarios, inspect policies, and query
+   what-if access decisions from the shell.
+
+     dune exec bin/exsecd.exe -- scenario
+     dune exec bin/exsecd.exe -- models
+     dune exec bin/exsecd.exe -- check --subject-level organization \
+       --subject-cats department-1 --object-level local --mode read
+     dune exec bin/exsecd.exe -- attacks --faulty verifier *)
+
+open Cmdliner
+open Exsec_core
+open Exsec_baselines
+open Exsec_workload
+
+(* {1 scenario} *)
+
+let scenario_cmd =
+  let run verbose =
+    let scenario = Scenario.build () in
+    Format.printf "subjects:@.";
+    List.iter
+      (fun (name, subject) -> Format.printf "  %-8s %a@." name Subject.pp subject)
+      (Scenario.subjects scenario);
+    Format.printf "@.%-9s" "";
+    List.iter (Format.printf " %-13s") Scenario.files;
+    Format.printf "@.";
+    List.iter
+      (fun (name, _) ->
+        Format.printf "%-9s" name;
+        List.iter
+          (fun file ->
+            Format.printf " %-13s"
+              (if Scenario.measured_read scenario ~subject_name:name ~file then "read" else "-"))
+          Scenario.files;
+        Format.printf "@.")
+      (Scenario.subjects scenario);
+    if verbose then begin
+      let audit =
+        Reference_monitor.audit (Exsec_extsys.Kernel.monitor scenario.Scenario.kernel)
+      in
+      Format.printf "@.audit trail (%d events):@." (Audit.total audit);
+      List.iter (fun e -> Format.printf "  %a@." Audit.pp_event e) (Audit.events audit)
+    end;
+    0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also dump the audit trail.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run the paper's applet example and print the access matrix")
+    Term.(const run $ verbose)
+
+(* {1 models} *)
+
+let models : (module Model.MODEL) list =
+  [
+    (module Unix_perms);
+    (module Afs_acl);
+    (module Nt_acl);
+    (module Java_sandbox);
+    (module Spin_domains);
+    (module Vino_priv);
+    (module Inferno_auth);
+    (module Ours);
+  ]
+
+let models_cmd =
+  let run requirement =
+    let selected =
+      match requirement with
+      | None -> Suite.all
+      | Some id -> (
+        match Suite.find (String.uppercase_ascii id) with
+        | Some r -> [ r ]
+        | None ->
+          Format.printf "unknown requirement %s (known: R1..R12)@." id;
+          exit 1)
+    in
+    List.iter
+      (fun (r : World.requirement) ->
+        Format.printf "%s  %s (%s)@." r.World.r_id r.World.r_title r.World.r_paper;
+        List.iter
+          (fun (module M : Model.MODEL) ->
+            let outcome, failures = Model.evaluate_verbose (module M) r in
+            Format.printf "    %-14s %a@." M.name Model.pp_outcome outcome;
+            List.iter
+              (fun { Model.case; got } ->
+                Format.printf "        %s %a %s: decided %b, expected %b@."
+                  case.World.c_subject.World.s_name World.pp_operation case.World.c_op
+                  case.World.c_object.World.o_path got case.World.c_expect)
+              failures)
+          models;
+        Format.printf "@.")
+      selected;
+    0
+  in
+  let requirement =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "r"; "requirement" ] ~docv:"ID" ~doc:"Limit to one requirement (R1..R12).")
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:"Score every protection model against the policy-requirement suite")
+    Term.(const run $ requirement)
+
+(* {1 check: what-if access decisions} *)
+
+let check_cmd =
+  let run subject_level subject_cats object_level object_cats mode_name strict =
+    let hierarchy = Level.hierarchy [ "local"; "organization"; "others" ] in
+    let universe =
+      Category.universe [ "myself"; "department-1"; "department-2"; "outside" ]
+    in
+    let parse_level name =
+      match Level.of_name hierarchy name with
+      | Some level -> level
+      | None ->
+        Format.printf "unknown level %s (local|organization|others)@." name;
+        exit 1
+    in
+    let parse_cats names =
+      try Category.of_names universe names with
+      | Invalid_argument message ->
+        Format.printf "%s@." message;
+        exit 1
+    in
+    let mode =
+      match Access_mode.of_string mode_name with
+      | Some mode -> mode
+      | None ->
+        Format.printf "unknown mode %s@." mode_name;
+        exit 1
+    in
+    let subject_class =
+      Security_class.make (parse_level subject_level) (parse_cats subject_cats)
+    in
+    let object_class =
+      Security_class.make (parse_level object_level) (parse_cats object_cats)
+    in
+    let rule = if strict then Mac.Strict else Mac.Liberal in
+    Format.printf "subject class: %a@." Security_class.pp subject_class;
+    Format.printf "object  class: %a@." Security_class.pp object_class;
+    (match Mac.check ~rule ~subject:subject_class ~object_:object_class mode with
+    | Ok () -> Format.printf "%a: GRANTED by the mandatory rules@." Access_mode.pp mode
+    | Error denial ->
+      Format.printf "%a: DENIED (%a)@." Access_mode.pp mode Mac.pp_denial denial);
+    0
+  in
+  let level which default =
+    Arg.(
+      value & opt string default
+      & info [ which ^ "-level" ] ~docv:"LEVEL" ~doc:(which ^ " trust level."))
+  in
+  let cats which =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ which ^ "-cats" ] ~docv:"CAT" ~doc:(which ^ " categories (repeatable)."))
+  in
+  let mode =
+    Arg.(value & opt string "read" & info [ "mode" ] ~docv:"MODE" ~doc:"Access mode.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Strict overwrite rule (the default policy).")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Evaluate a mandatory access decision between two classes")
+    Term.(
+      const run $ level "subject" "organization" $ cats "subject" $ level "object" "local"
+      $ cats "object" $ mode $ strict)
+
+(* {1 shell: the interactive operator shell} *)
+
+let shell_cmd =
+  let run policy_file script_file =
+    let policy =
+      match policy_file with
+      | None -> None
+      | Some file -> (
+        let text =
+          try
+            let ic = open_in file in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with
+          | Sys_error message ->
+            Format.printf "%s@." message;
+            exit 1
+        in
+        match Exsec_core.Policy_text.parse text with
+        | Ok spec -> Some spec
+        | Error e ->
+          Format.printf "%a@." Exsec_core.Policy_text.pp_error e;
+          exit 1)
+    in
+    match Exsec_shell.Shell.create ?policy () with
+    | Error message ->
+      Format.printf "boot failed: %s@." message;
+      1
+    | Ok shell -> (
+      match script_file with
+      | Some file ->
+        (* Scripted mode: one command per line, echoed with its
+           output — reproducible demos and documentation snippets. *)
+        let ic = open_in file in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.length line > 0 && line.[0] <> '#' then begin
+               print_endline (Exsec_shell.Shell.prompt shell ^ line);
+               let output = Exsec_shell.Shell.exec shell line in
+               if String.length output > 0 then print_endline output
+             end
+           done
+         with
+        | End_of_file -> close_in ic);
+        0
+      | None ->
+        print_endline "exsec shell — 'help' lists commands, ctrl-d exits";
+        let rec loop () =
+          print_string (Exsec_shell.Shell.prompt shell);
+          match read_line () with
+          | exception End_of_file -> 0
+          | "exit" | "quit" -> 0
+          | line ->
+            let output = Exsec_shell.Shell.exec shell line in
+            if String.length output > 0 then print_endline output;
+            loop ()
+        in
+        loop ())
+  in
+  let policy_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policy" ] ~docv:"FILE" ~doc:"Boot from a textual policy file.")
+  in
+  let script_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Run commands from a file instead of stdin.")
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"An interactive operator shell over a live extensible system")
+    Term.(const run $ policy_file $ script_file)
+
+(* {1 policy: load and query a policy file} *)
+
+let policy_cmd =
+  let run file canonical as_name at_level at_cats mode_name on_path =
+    let text =
+      try
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with
+      | Sys_error message ->
+        Format.printf "%s@." message;
+        exit 1
+    in
+    let spec =
+      match Policy_text.parse text with
+      | Ok spec -> spec
+      | Error e ->
+        Format.printf "%a@." Policy_text.pp_error e;
+        exit 1
+    in
+    let built =
+      match Policy_text.build spec with
+      | Ok built -> built
+      | Error e ->
+        Format.printf "%a@." Policy_text.pp_error e;
+        exit 1
+    in
+    Format.printf "loaded %s: %d level(s), %d categorie(s), %d principal(s), %d object(s)@."
+      file
+      (List.length spec.Policy_text.levels)
+      (List.length spec.Policy_text.categories)
+      (List.length spec.Policy_text.individuals)
+      (List.length spec.Policy_text.objects);
+    if canonical then print_string (Policy_text.to_string spec);
+    (match as_name, on_path with
+    | Some name, Some path ->
+      let subject =
+        let session_class =
+          match at_level with
+          | None -> None
+          | Some level_name ->
+            let level =
+              match Level.of_name built.Policy_text.hierarchy level_name with
+              | Some level -> level
+              | None ->
+                Format.printf "unknown level %s@." level_name;
+                exit 1
+            in
+            let cats =
+              try Category.of_names built.Policy_text.universe at_cats with
+              | Invalid_argument message ->
+                Format.printf "%s@." message;
+                exit 1
+            in
+            Some (Security_class.make level cats)
+        in
+        match
+          Clearance.login built.Policy_text.registry ?at:session_class
+            (Principal.individual name)
+        with
+        | Ok subject -> subject
+        | Error e ->
+          Format.printf "login %s: %a@." name Clearance.pp_error e;
+          exit 1
+      in
+      let mode =
+        match Access_mode.of_string mode_name with
+        | Some mode -> mode
+        | None ->
+          Format.printf "unknown mode %s@." mode_name;
+          exit 1
+      in
+      (match List.assoc_opt path built.Policy_text.metas with
+      | None ->
+        Format.printf "no object %s in the policy@." path;
+        exit 1
+      | Some meta ->
+        let monitor = Reference_monitor.create built.Policy_text.db in
+        let decision =
+          Reference_monitor.check monitor ~subject ~meta ~object_name:path ~mode
+        in
+        Format.printf "%a %a %s: %a@." Subject.pp subject Access_mode.pp mode path
+          Decision.pp decision)
+    | Some _, None | None, Some _ ->
+      Format.printf "a query needs both --as and --on@.";
+      exit 1
+    | None, None -> ());
+    0
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Policy file.")
+  in
+  let canonical =
+    Arg.(value & flag & info [ "canonical" ] ~doc:"Print the canonical form back out.")
+  in
+  let as_name =
+    Arg.(value & opt (some string) None & info [ "as" ] ~docv:"NAME" ~doc:"Principal to query as.")
+  in
+  let at_level =
+    Arg.(value & opt (some string) None & info [ "at-level" ] ~docv:"LEVEL" ~doc:"Session level (default: full clearance).")
+  in
+  let at_cats =
+    Arg.(value & opt_all string [] & info [ "at-cat" ] ~docv:"CAT" ~doc:"Session category (repeatable).")
+  in
+  let mode =
+    Arg.(value & opt string "read" & info [ "mode" ] ~docv:"MODE" ~doc:"Access mode to query.")
+  in
+  let on_path =
+    Arg.(value & opt (some string) None & info [ "on" ] ~docv:"OBJECT" ~doc:"Object path to query.")
+  in
+  Cmd.v
+    (Cmd.info "policy" ~doc:"Load a textual policy file; optionally query a decision under it")
+    Term.(const run $ file $ canonical $ as_name $ at_level $ at_cats $ mode $ on_path)
+
+(* {1 attacks: three-prong fault injection} *)
+
+let attacks_cmd =
+  let run faulty_names =
+    let parse name =
+      match String.lowercase_ascii name with
+      | "verifier" -> Java_sandbox.Verifier
+      | "class-loader" | "classloader" -> Java_sandbox.Class_loader
+      | "security-manager" | "securitymanager" -> Java_sandbox.Security_manager
+      | other ->
+        Format.printf "unknown prong %s (verifier|class-loader|security-manager)@." other;
+        exit 1
+    in
+    let faulty = List.map parse faulty_names in
+    List.iter
+      (fun attack ->
+        Format.printf "  %-45s %s@." attack.Java_sandbox.a_name
+          (if Java_sandbox.breached ~faulty attack then "BREACHED" else "held"))
+      Java_sandbox.attacks;
+    Format.printf "breach fraction: %.2f@." (Java_sandbox.breach_fraction ~faulty);
+    0
+  in
+  let faulty =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "faulty" ] ~docv:"PRONG"
+          ~doc:"Inject a fault into a prong (repeatable): verifier, class-loader, security-manager.")
+  in
+  Cmd.v
+    (Cmd.info "attacks"
+       ~doc:"Show which attack classes the Java three-prong design admits under faults")
+    Term.(const run $ faulty)
+
+let main_cmd =
+  let doc = "security for extensible systems: the HotOS'97 model, runnable" in
+  Cmd.group
+    (Cmd.info "exsecd" ~version:"1.0.0" ~doc)
+    [ scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/applet_sandbox.ml: Category Exsec_core Exsec_services Exsec_workload Format Level List Memfs Scenario String Subject

@@ -1,0 +1,1 @@
+examples/applet_sandbox.mli:

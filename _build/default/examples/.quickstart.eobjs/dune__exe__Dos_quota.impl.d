@@ -1,0 +1,1 @@
+examples/dos_quota.ml: Audit Category Exsec_core Exsec_extsys Extension Format Kernel Level Linker List Path Principal Printf Quota Reference_monitor Security_class Service Subject Thread Value

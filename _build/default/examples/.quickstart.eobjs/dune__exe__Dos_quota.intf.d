@@ -1,0 +1,1 @@
+examples/dos_quota.mli:

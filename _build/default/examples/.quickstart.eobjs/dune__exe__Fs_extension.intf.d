@@ -1,0 +1,1 @@
+examples/fs_extension.mli:

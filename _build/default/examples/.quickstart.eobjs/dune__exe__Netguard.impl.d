@@ -1,0 +1,1 @@
+examples/netguard.ml: Access_mode Acl Audit Category Exsec_core Exsec_extsys Exsec_services Kernel Level Netstack Principal Printf Reference_monitor Security_class Service String Subject

@@ -1,0 +1,1 @@
+examples/policy_file.ml: Access_mode Category Clearance Decision Exsec_core Flow Format Level List Policy_text Principal Printf Reference_monitor Security_class String

@@ -1,0 +1,1 @@
+examples/thread_murder.ml: Acl Category Exsec_core Exsec_extsys Kernel Level List Meta Path Principal Printf Resolver Security_class Service String Subject Thread

@@ -1,0 +1,81 @@
+(* Network endpoints as protected objects: the sandbox-era
+   "socket to third host" escape, closed by the one mechanism that
+   protects everything else.
+
+     dune exec examples/netguard.exe *)
+
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+let or_die label = function
+  | Ok value -> value
+  | Error e -> failwith (Printf.sprintf "%s: %s" label (Service.error_to_string e))
+
+let () =
+  let db = Principal.Db.create () in
+  let add name =
+    let ind = Principal.individual name in
+    Principal.Db.add_individual db ind;
+    ind
+  in
+  let admin = add "admin" in
+  let webmaster = add "webmaster" in
+  let dbadmin = add "dbadmin" in
+  let applet = add "applet" in
+  let hierarchy = Level.hierarchy [ "local"; "organization"; "others" ] in
+  let universe = Category.universe [ "web"; "db" ] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let cls level cats =
+    Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+  in
+  let net = or_die "netstack" (Netstack.install kernel ~subject:(Kernel.admin_subject kernel)) in
+
+  (* The site's services listen at their own classes. *)
+  let web_sub = Subject.make webmaster (cls "others" [ "web" ]) in
+  let db_sub = Subject.make dbadmin (cls "organization" [ "db" ]) in
+  or_die "www" (Netstack.listen net ~subject:web_sub ~host:"www" ~port:80 ());
+  or_die "postgres"
+    (Netstack.listen net ~subject:db_sub
+       ~acl:
+         (Acl.of_entries
+            [
+              Acl.allow_all (Acl.Individual dbadmin);
+              Acl.allow Acl.Everyone [ Access_mode.List ];
+              Acl.allow (Acl.Individual webmaster)
+                [ Access_mode.Execute; Access_mode.Write_append ];
+            ])
+       ~host:"postgres" ~port:5432 ());
+  print_endline "listening: www:80 (others/{web}), postgres:5432 (organization/{db})";
+
+  (* A downloaded applet runs at others/{web}: it may talk to the web
+     host it came from... *)
+  let applet_sub = Subject.make applet (cls "others" [ "web" ]) in
+  let conn = or_die "applet->www" (Netstack.connect net ~subject:applet_sub ~host:"www" ~port:80) in
+  or_die "send" (Netstack.send net ~subject:applet_sub conn "GET /");
+  print_endline "applet -> www:80        connected, request delivered";
+
+  (* ...but the database is a third host at a class the applet does
+     not dominate: the connect dies inside the name space, before any
+     service code runs. *)
+  (match Netstack.connect net ~subject:applet_sub ~host:"postgres" ~port:5432 with
+  | Error e -> Printf.printf "applet -> postgres:5432 DENIED (%s)\n" (Service.error_to_string e)
+  | Ok _ -> failwith "socket to third host!");
+
+  (* The web front-end is on the postgres ACL; it opens the database
+     connection from a session holding ONLY the db category (least
+     privilege: a {web,db} session could not append into a {db}-only
+     endpoint, and rightly so -- its web-tainted state must not flow
+     there). *)
+  let web_runtime = Subject.make webmaster (cls "organization" [ "db" ]) in
+  let conn = or_die "web->db" (Netstack.connect net ~subject:web_runtime ~host:"postgres" ~port:5432) in
+  or_die "query" (Netstack.send net ~subject:web_runtime conn "SELECT 1");
+  Printf.printf "web -> postgres:5432    query delivered (%d pending)\n"
+    (Netstack.pending net ~host:"postgres" ~port:5432);
+  let inbox = or_die "drain" (Netstack.recv net ~subject:db_sub ~host:"postgres" ~port:5432) in
+  Printf.printf "dbadmin drains inbox:   %s\n" (String.concat ", " inbox);
+
+  (* Everything above went through one reference monitor. *)
+  let audit = Reference_monitor.audit (Kernel.monitor kernel) in
+  Printf.printf "\naudit: %d decisions, %d denied -- every socket operation is in the log\n"
+    (Audit.total audit) (Audit.denied_total audit)

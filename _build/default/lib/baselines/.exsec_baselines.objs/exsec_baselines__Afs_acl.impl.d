@@ -1,0 +1,1 @@
+lib/baselines/afs_acl.ml: Bool List String World

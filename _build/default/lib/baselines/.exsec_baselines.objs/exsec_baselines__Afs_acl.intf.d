@@ -1,0 +1,1 @@
+lib/baselines/afs_acl.mli: Model

@@ -1,0 +1,1 @@
+lib/baselines/inferno_auth.ml: List World

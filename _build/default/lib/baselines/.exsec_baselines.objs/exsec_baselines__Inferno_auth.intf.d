@@ -1,0 +1,1 @@
+lib/baselines/inferno_auth.mli: Model

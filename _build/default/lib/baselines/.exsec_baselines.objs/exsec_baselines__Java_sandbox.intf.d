@@ -1,0 +1,1 @@
+lib/baselines/java_sandbox.mli: Model

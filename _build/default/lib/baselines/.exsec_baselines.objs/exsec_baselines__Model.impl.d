@@ -1,0 +1,1 @@
+lib/baselines/model.ml: Bool Format List Printf World

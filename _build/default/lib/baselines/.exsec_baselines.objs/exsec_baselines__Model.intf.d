@@ -1,0 +1,1 @@
+lib/baselines/model.mli: Format World

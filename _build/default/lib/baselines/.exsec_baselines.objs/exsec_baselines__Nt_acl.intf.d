@@ -1,0 +1,1 @@
+lib/baselines/nt_acl.mli: Model

@@ -1,0 +1,1 @@
+lib/baselines/ours.ml: Access_mode Acl Category Decision Exsec_core Level List Meta Principal Reference_monitor Security_class String Subject World

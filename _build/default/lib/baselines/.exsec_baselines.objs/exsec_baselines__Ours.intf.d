@@ -1,0 +1,1 @@
+lib/baselines/ours.mli: Model

@@ -1,0 +1,1 @@
+lib/baselines/suite.ml: List String World

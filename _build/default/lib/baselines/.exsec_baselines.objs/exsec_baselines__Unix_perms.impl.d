@@ -1,0 +1,1 @@
+lib/baselines/unix_perms.ml: List String World

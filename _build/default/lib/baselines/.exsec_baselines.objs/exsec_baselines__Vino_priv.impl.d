@@ -1,0 +1,1 @@
+lib/baselines/vino_priv.ml: List String World

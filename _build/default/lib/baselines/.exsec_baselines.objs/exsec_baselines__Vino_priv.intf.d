@@ -1,0 +1,1 @@
+lib/baselines/vino_priv.mli: Model

@@ -1,0 +1,1 @@
+lib/baselines/world.ml: Format String

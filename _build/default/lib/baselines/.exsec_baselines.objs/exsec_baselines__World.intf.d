@@ -1,0 +1,1 @@
+lib/baselines/world.mli: Format

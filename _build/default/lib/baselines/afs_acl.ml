@@ -1,0 +1,106 @@
+let name = "afs"
+let description = "AFS directory-granularity ACLs with negative rights"
+
+type right =
+  | R
+  | W
+
+type who =
+  | User of string
+  | Group of string
+  | Any
+
+type ace = {
+  who : who;
+  negative : bool;
+  rights : right list;
+}
+
+type dir_acl = {
+  dir : string;
+  entries : ace list;
+}
+
+type config = dir_acl list
+
+let ace ?(negative = false) who rights = { who; negative; rights }
+
+let matches (s : World.subject) = function
+  | User name -> String.equal name s.World.s_name
+  | Group group -> List.mem group s.World.s_groups
+  | Any -> true
+
+(* AFS semantics: union of matching positive rights minus union of
+   matching negative rights. *)
+let rights_for entries s =
+  let collect pick =
+    List.concat_map
+      (fun e -> if Bool.equal e.negative pick && matches s e.who then e.rights else [])
+      entries
+  in
+  let positive = collect false in
+  let negative = collect true in
+  List.filter (fun r -> not (List.mem r negative)) positive
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call _ | World.Restrict_extend _ ->
+    (* Services are not file-system objects; AFS has nothing to attach
+       an ACL to. *)
+    None
+  | World.Group_except { group; except; file; _ } ->
+    Some
+      [
+        {
+          dir = World.dir_of (World.file file);
+          entries = [ ace (Group group) [ R ]; ace ~negative:true (User except) [ R ] ];
+        };
+      ]
+  | World.Multi_group { groups; file } ->
+    Some
+      [
+        {
+          dir = World.dir_of (World.file file);
+          entries = List.map (fun (g, _) -> ace (Group g) [ R ]) groups;
+        };
+      ]
+  | World.Per_file { dir; readable = _, readers; private_ = _ } ->
+    (* One ACL covers the whole directory: the readers of the public
+       file unavoidably reach the private one too. *)
+    Some
+      [
+        {
+          dir;
+          entries = ace (User "alice") [ R; W ] :: List.map (fun who -> ace (User who) [ R ]) readers;
+        };
+      ]
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept ->
+    None
+  | World.No_leak ->
+    (* Natural discretionary setup; nothing stops the owner's
+       write-down. *)
+    Some
+      [
+        { dir = "drop"; entries = [ ace (User "carol") [ R; W ] ] };
+        { dir = "org"; entries = [ ace (User "carol") [ R; W ] ] };
+        { dir = "local"; entries = [ ace Any [ W ] ] };
+      ]
+  | World.Static_pin | World.Class_dispatch -> None
+  | World.Append_only_log ->
+    (* w covers both append and overwrite; reads cannot be tied to a
+       clearance. *)
+    Some [ { dir = "var"; entries = [ ace Any [ W ] ] } ]
+
+let decide config (s : World.subject) (obj : World.object_) (op : World.operation) =
+  match obj.World.o_kind with
+  | World.Service -> false
+  | World.File -> (
+    let dir = World.dir_of obj in
+    match List.find_opt (fun d -> String.equal d.dir dir) config with
+    | None -> false
+    | Some { entries; _ } -> (
+      let rights = rights_for entries s in
+      match op with
+      | World.Read -> List.mem R rights
+      | World.Write | World.Append -> List.mem W rights
+      | World.Call | World.Extend -> false))

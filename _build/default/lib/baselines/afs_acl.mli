@@ -1,0 +1,11 @@
+(** Andrew File System ACLs: full positive {e and} negative entries
+    for users and groups — but only at the granularity of entire
+    directories, "which we believe is at too high a grain" (paper,
+    sections 1.2, 2).
+
+    Rights modelled: [r] (read), [w] (write/append — AFS has no
+    append-only right), [l] (lookup).  Services are not AFS objects,
+    so service-typed requirements are inexpressible; so is anything
+    needing labels (no mandatory layer). *)
+
+include Model.MODEL

@@ -1,0 +1,17 @@
+let name = "inferno"
+let description = "Inferno: mutual authentication of parties, no access-control model"
+
+type config = { authenticated : string list }
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call _ | World.Restrict_extend _ | World.Group_except _
+  | World.Multi_group _ | World.Per_file _ | World.Level_hierarchy
+  | World.Dept_isolation | World.Level_and_dept | World.No_leak | World.Static_pin
+  | World.Class_dispatch | World.Append_only_log ->
+    (* Authentication establishes identity; none of these intents is
+       about identity establishment.  Nothing to configure. *)
+    None
+
+let decide config (s : World.subject) (_obj : World.object_) (_op : World.operation) =
+  List.mem s.World.s_name config.authenticated

@@ -1,0 +1,15 @@
+(** Inferno, as the paper reports it (section 1.2): "Inferno uses
+    encryption for the mutual authentication of communicating parties
+    and their messages" — i.e., it answers {e who} is talking, but
+    "no security model and specifically no access control model is
+    discussed in the publicly available literature".
+
+    Modelled accordingly: a set of mutually authenticated parties.
+    Authenticated subjects pass (identity established, nothing else
+    checked); unauthenticated ones are refused outright.
+    Authorization intents therefore have no encoding at all — every
+    requirement in the suite is inexpressible, which is precisely the
+    paper's point: authentication is necessary but is not access
+    control. *)
+
+include Model.MODEL

@@ -1,0 +1,76 @@
+let name = "java-sandbox"
+let description = "JDK 1.x binary trust: local code trusted, remote code sandboxed"
+
+type config = {
+  safe_services : string list;
+      (** services the sandbox lets untrusted code call (the applet
+          API surface) *)
+}
+
+(* Trust attaches to the *code*: when the subject acts through an
+   extension, the extension's origin decides; otherwise the
+   principal's own code origin. *)
+let code_origin (s : World.subject) =
+  match s.World.s_ext with
+  | Some ext -> ext.World.e_origin
+  | None -> s.World.s_origin
+
+let trusted s =
+  match code_origin s with
+  | World.Local -> true
+  | World.Org | World.Outside -> false
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call _ | World.Restrict_extend _ ->
+    (* The guarded service is sensitive: keep it off the applet API. *)
+    Some { safe_services = [] }
+  | World.Class_dispatch ->
+    (* There is no class-indexed dispatch; the sandbox exposes the
+       handlers it exposes. *)
+    Some { safe_services = [ "svc/handler@local"; "svc/handler@org" ] }
+  | World.Group_except _ | World.Multi_group _ | World.Per_file _
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept | World.No_leak
+  | World.Static_pin | World.Append_only_log ->
+    Some { safe_services = [] }
+
+let decide config (s : World.subject) (obj : World.object_) (op : World.operation) =
+  if trusted s then true
+  else (
+    match obj.World.o_kind, op with
+    | World.Service, World.Call -> List.mem obj.World.o_path config.safe_services
+    | World.Service, (World.Read | World.Write | World.Append | World.Extend)
+    | World.File, _ ->
+      false)
+
+(* {1 Three-prong fault injection} *)
+
+type prong =
+  | Verifier
+  | Class_loader
+  | Security_manager
+
+let prongs = [ Verifier; Class_loader; Security_manager ]
+
+type attack = {
+  a_name : string;
+  a_blocked_by : prong;
+}
+
+let attacks =
+  [
+    { a_name = "forged pointer via unverified bytecode"; a_blocked_by = Verifier };
+    { a_name = "illegal cast to privileged class"; a_blocked_by = Verifier };
+    { a_name = "stack overflow into checked frame"; a_blocked_by = Verifier };
+    { a_name = "class spoofing across loaders"; a_blocked_by = Class_loader };
+    { a_name = "shadowing a system class"; a_blocked_by = Class_loader };
+    { a_name = "local file read from applet"; a_blocked_by = Security_manager };
+    { a_name = "socket to third host"; a_blocked_by = Security_manager };
+    { a_name = "thread kill outside group"; a_blocked_by = Security_manager };
+  ]
+
+let breached ~faulty attack = List.mem attack.a_blocked_by faulty
+
+let breach_fraction ~faulty =
+  let hit = List.filter (breached ~faulty) attacks in
+  float_of_int (List.length hit) /. float_of_int (List.length attacks)

@@ -1,0 +1,45 @@
+(** The Java (JDK 1.0/1.1) security model, as the paper describes it
+    (section 1.2): a {e binary} trust decision — code from the local
+    file system is fully trusted, remote code is sandboxed — enforced
+    by {e three} cooperating prongs (byte-code verifier, class loader,
+    security manager) rather than one central facility.
+
+    Two deliberate properties drive the experiments:
+
+    - trust attaches to {e code origin} only, so a trusted-origin
+      extension run by an untrusted principal still gets everything
+      (T3/R10), and principals are indistinguishable (R1, R3, R6);
+    - enforcement is the {e conjunction} of three prongs, each of
+      which covers only some attack classes; {!decide_with_faults}
+      lets the fault-injection experiment (T4) knock out prongs
+      individually, modelling the "continuous string of security
+      breaches". *)
+
+include Model.MODEL
+
+(** {1 Three-prong fault injection (experiment T4)} *)
+
+type prong =
+  | Verifier  (** byte-code verification: blocks forged references *)
+  | Class_loader  (** name-space separation: blocks class spoofing *)
+  | Security_manager  (** resource checks: blocks file/net access *)
+
+val prongs : prong list
+
+type attack = {
+  a_name : string;
+  a_blocked_by : prong;
+      (** in the three-prong design, exactly one prong stands between
+          this attack class and a breach *)
+}
+
+val attacks : attack list
+(** Representative attack classes, one or more per prong (drawn from
+    the incidents catalogued by Dean, Felten & Wallach 1996 and
+    McGraw & Felten 1997, which the paper cites). *)
+
+val breached : faulty:prong list -> attack -> bool
+(** Does the attack succeed when the listed prongs have a bug? *)
+
+val breach_fraction : faulty:prong list -> float
+(** Fraction of {!attacks} that succeed. *)

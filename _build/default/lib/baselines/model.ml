@@ -1,0 +1,48 @@
+module type MODEL = sig
+  val name : string
+  val description : string
+
+  type config
+
+  val encode : World.requirement -> config option
+  val decide : config -> World.subject -> World.object_ -> World.operation -> bool
+end
+
+type outcome =
+  | Inexpressible
+  | Enforced
+  | Misenforced of { failed : int; total : int }
+
+let pp_outcome ppf = function
+  | Inexpressible -> Format.pp_print_string ppf "inexpressible"
+  | Enforced -> Format.pp_print_string ppf "enforced"
+  | Misenforced { failed; total } ->
+    Format.fprintf ppf "mis-enforced (%d/%d cases wrong)" failed total
+
+let outcome_symbol = function
+  | Inexpressible -> "no"
+  | Enforced -> "yes"
+  | Misenforced { failed; total } -> Printf.sprintf "%d/%d wrong" failed total
+
+type failed_case = {
+  case : World.case;
+  got : bool;
+}
+
+let evaluate_verbose (module M : MODEL) (requirement : World.requirement) =
+  match M.encode requirement with
+  | None -> Inexpressible, []
+  | Some config ->
+    let failures =
+      List.filter_map
+        (fun (case : World.case) ->
+          let got = M.decide config case.World.c_subject case.World.c_object case.World.c_op in
+          if Bool.equal got case.World.c_expect then None else Some { case; got })
+        requirement.World.r_cases
+    in
+    let total = List.length requirement.World.r_cases in
+    (match failures with
+    | [] -> Enforced, []
+    | _ -> Misenforced { failed = List.length failures; total }, failures)
+
+let evaluate model requirement = fst (evaluate_verbose model requirement)

@@ -1,0 +1,42 @@
+(** The common shape of every protection model under comparison, and
+    the harness that scores a model against a requirement. *)
+
+module type MODEL = sig
+  val name : string
+  (** e.g. ["unix"], ["java-sandbox"]. *)
+
+  val description : string
+
+  type config
+
+  val encode : World.requirement -> config option
+  (** Translate the requirement's {e intent} into this model's
+      configuration.  [None] means the mechanism has no way to state
+      the policy at all.  Encoders must work from the intent, never
+      from the expected case outcomes — a [Some] config that then
+      mis-decides cases is exactly the measured result we want. *)
+
+  val decide : config -> World.subject -> World.object_ -> World.operation -> bool
+end
+
+type outcome =
+  | Inexpressible  (** the encoder returned [None] *)
+  | Enforced  (** every case decided as expected *)
+  | Misenforced of { failed : int; total : int }
+      (** configured, but some cases decided wrongly *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_symbol : outcome -> string
+(** Compact table cell: ["yes"], ["no"], or ["k/n wrong"]. *)
+
+val evaluate : (module MODEL) -> World.requirement -> outcome
+
+type failed_case = {
+  case : World.case;
+  got : bool;
+}
+
+val evaluate_verbose :
+  (module MODEL) -> World.requirement -> outcome * failed_case list
+(** Like {!evaluate} but also returns the mis-decided cases. *)

@@ -1,0 +1,109 @@
+let name = "windows-nt"
+let description = "NT per-file ACLs with allow/deny entries and specific rights"
+
+type right =
+  | Read_data
+  | Write_data
+  | Append_data
+
+type who =
+  | User of string
+  | Group of string
+  | Everyone
+
+type ace = {
+  who : who;
+  allow : bool;
+  rights : right list;
+}
+
+type obj_acl = {
+  path : string;
+  entries : ace list;  (** NT evaluation order: deny entries first *)
+}
+
+type config = obj_acl list
+
+let ace ?(allow = true) who rights = { who; allow; rights }
+
+let matches (s : World.subject) = function
+  | User name -> String.equal name s.World.s_name
+  | Group group -> List.mem group s.World.s_groups
+  | Everyone -> true
+
+(* NT semantics: walk the (canonicalized: denies first) ACL; the first
+   matching entry mentioning the right decides. *)
+let allowed entries s right =
+  let ordered =
+    List.filter (fun e -> not e.allow) entries @ List.filter (fun e -> e.allow) entries
+  in
+  let rec scan = function
+    | [] -> false
+    | e :: rest ->
+      if matches s e.who && List.mem right e.rights then e.allow else scan rest
+  in
+  scan ordered
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call _ | World.Restrict_extend _ ->
+    (* Kernel extension interfaces are not securable NT objects. *)
+    None
+  | World.Group_except { group; except; file; _ } ->
+    Some
+      [
+        {
+          path = file;
+          entries =
+            [ ace ~allow:false (User except) [ Read_data ]; ace (Group group) [ Read_data ] ];
+        };
+      ]
+  | World.Multi_group { groups; file } ->
+    Some
+      [
+        { path = file; entries = List.map (fun (g, _) -> ace (Group g) [ Read_data ]) groups };
+      ]
+  | World.Per_file { readable = readable_path, readers; private_; dir = _ } ->
+    Some
+      [
+        {
+          path = readable_path;
+          entries =
+            ace (User "alice") [ Read_data; Write_data; Append_data ]
+            :: List.map (fun who -> ace (User who) [ Read_data ]) readers;
+        };
+        {
+          path = private_;
+          entries = [ ace (User "alice") [ Read_data; Write_data; Append_data ] ];
+        };
+      ]
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept -> None
+  | World.No_leak ->
+    Some
+      [
+        { path = "drop/box"; entries = [ ace (User "carol") [ Read_data; Write_data ] ] };
+        {
+          path = "org/carol-notes";
+          entries = [ ace (User "carol") [ Read_data; Write_data ] ];
+        };
+        { path = "local/log"; entries = [ ace Everyone [ Append_data ] ] };
+      ]
+  | World.Static_pin | World.Class_dispatch -> None
+  | World.Append_only_log ->
+    (* Append-data is a genuine NT right, so the append/overwrite
+       boundary holds; but with no clearance labels the auditor's read
+       cannot be derived from the intent. *)
+    Some [ { path = "var/log"; entries = [ ace Everyone [ Append_data ] ] } ]
+
+let decide config (s : World.subject) (obj : World.object_) (op : World.operation) =
+  match obj.World.o_kind with
+  | World.Service -> false
+  | World.File -> (
+    match List.find_opt (fun o -> String.equal o.path obj.World.o_path) config with
+    | None -> false
+    | Some { entries; _ } -> (
+      match op with
+      | World.Read -> allowed entries s Read_data
+      | World.Write -> allowed entries s Write_data
+      | World.Append -> allowed entries s Append_data || allowed entries s Write_data
+      | World.Call | World.Extend -> false))

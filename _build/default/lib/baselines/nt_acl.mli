@@ -1,0 +1,14 @@
+(** Windows NT ACLs: per-object access control lists with allow and
+    deny entries for users and groups, and a rich set of specific
+    rights including a genuine append-data right.  The paper grants
+    the model is "rich, though unnecessarily complicated", but notes
+    it "does not provide a means to control the two ways extensions
+    interact with the rest of the system, nor does it provide for any
+    mandatory access control" (section 2).
+
+    Accordingly: file-typed requirements with purely discretionary
+    intent are expressible (deny entries and per-file granularity
+    included); service-typed requirements and anything needing labels
+    or extension classes are not. *)
+
+include Model.MODEL

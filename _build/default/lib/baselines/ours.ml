@@ -1,0 +1,173 @@
+open Exsec_core
+
+let name = "this-paper"
+let description = "DAC ACLs + MAC lattice + execute/extend modes (the paper's model)"
+
+type lattice = {
+  hierarchy : Level.hierarchy;
+  universe : Category.universe;
+  class_of : World.origin -> string list -> Security_class.t;
+}
+
+type config = {
+  db : Principal.Db.t;
+  monitor : Reference_monitor.t;
+  lattice : lattice;
+  meta_of : World.object_ -> Meta.t;
+}
+
+let multi_level () =
+  let hierarchy = Level.hierarchy [ "local"; "organization"; "outside" ] in
+  let universe = Category.universe [ "d1"; "d2" ] in
+  let class_of origin depts =
+    let level_name =
+      match origin with
+      | World.Local -> "local"
+      | World.Org -> "organization"
+      | World.Outside -> "outside"
+    in
+    Security_class.make (Level.of_name_exn hierarchy level_name)
+      (Category.of_names universe depts)
+  in
+  { hierarchy; universe; class_of }
+
+(* A one-point lattice: every class identical, MAC trivially grants. *)
+let one_point () =
+  let hierarchy = Level.hierarchy [ "sys" ] in
+  let universe = Category.universe [] in
+  let class_of _origin _depts =
+    Security_class.make (Level.top hierarchy) (Category.empty universe)
+  in
+  { hierarchy; universe; class_of }
+
+let db_of_requirement (requirement : World.requirement) =
+  let db = Principal.Db.create () in
+  List.iter
+    (fun (case : World.case) ->
+      let s = case.World.c_subject in
+      let ind = Principal.individual s.World.s_name in
+      Principal.Db.add_individual db ind;
+      List.iter
+        (fun grp -> Principal.Db.add_member db (Principal.group grp) (Principal.Ind ind))
+        s.World.s_groups)
+    requirement.World.r_cases;
+  db
+
+let ind = Principal.individual
+let grp = Principal.group
+
+let open_modes =
+  [
+    Access_mode.Read;
+    Access_mode.Write;
+    Access_mode.Write_append;
+    Access_mode.List;
+    Access_mode.Execute;
+    Access_mode.Extend;
+  ]
+
+let world_open owner =
+  Acl.of_entries
+    [ Acl.allow_all (Acl.Individual (ind owner)); Acl.allow Acl.Everyone open_modes ]
+
+(* ACL chosen per intent; [None] means "everything open" (the intent
+   is enforced by the lattice). *)
+let acl_for (intent : World.intent) (obj : World.object_) =
+  match intent with
+  | World.Restrict_call { service; allowed } when String.equal service obj.World.o_path ->
+    Some
+      (Acl.of_entries
+         (Acl.allow_all (Acl.Individual (ind obj.World.o_owner))
+         :: Acl.allow Acl.Everyone [ Access_mode.List ]
+         :: List.map (fun who -> Acl.allow (Acl.Individual (ind who)) [ Access_mode.Execute ]) allowed))
+  | World.Restrict_extend { service; may_call; may_extend }
+    when String.equal service obj.World.o_path ->
+    Some
+      (Acl.of_entries
+         (Acl.allow_all (Acl.Individual (ind obj.World.o_owner))
+         :: Acl.allow Acl.Everyone [ Access_mode.List ]
+         :: (List.map (fun who -> Acl.allow (Acl.Individual (ind who)) [ Access_mode.Execute ]) may_call
+            @ List.map (fun who -> Acl.allow (Acl.Individual (ind who)) [ Access_mode.Extend ]) may_extend)))
+  | World.Group_except { group; except; file; members = _ }
+    when String.equal file obj.World.o_path ->
+    Some
+      (Acl.of_entries
+         [
+           Acl.allow_all (Acl.Individual (ind obj.World.o_owner));
+           Acl.allow (Acl.Group (grp group)) [ Access_mode.Read ];
+           Acl.deny (Acl.Individual (ind except)) [ Access_mode.Read ];
+         ])
+  | World.Multi_group { groups; file } when String.equal file obj.World.o_path ->
+    Some
+      (Acl.of_entries
+         (Acl.allow_all (Acl.Individual (ind obj.World.o_owner))
+         :: List.map (fun (g, _) -> Acl.allow (Acl.Group (grp g)) [ Access_mode.Read ]) groups))
+  | World.Per_file { readable = readable_path, readers; private_; dir = _ } ->
+    if String.equal obj.World.o_path readable_path then
+      Some
+        (Acl.of_entries
+           (Acl.allow_all (Acl.Individual (ind obj.World.o_owner))
+           :: List.map (fun who -> Acl.allow (Acl.Individual (ind who)) [ Access_mode.Read ]) readers))
+    else if String.equal obj.World.o_path private_ then
+      Some (Acl.owner_default (ind obj.World.o_owner))
+    else None
+  | World.Append_only_log ->
+    Some
+      (Acl.of_entries
+         [
+           Acl.allow_all (Acl.Individual (ind obj.World.o_owner));
+           Acl.allow Acl.Everyone
+             [ Access_mode.Read; Access_mode.Write; Access_mode.Write_append; Access_mode.List ];
+         ])
+  | World.Restrict_call _ | World.Restrict_extend _ | World.Group_except _
+  | World.Multi_group _
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept | World.No_leak
+  | World.Static_pin | World.Class_dispatch ->
+    None
+
+let uses_lattice = function
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept | World.No_leak
+  | World.Static_pin | World.Class_dispatch | World.Append_only_log ->
+    true
+  | World.Restrict_call _ | World.Restrict_extend _ | World.Group_except _
+  | World.Multi_group _ | World.Per_file _ ->
+    false
+
+let encode (requirement : World.requirement) =
+  let db = db_of_requirement requirement in
+  let lattice =
+    if uses_lattice requirement.World.r_intent then multi_level () else one_point ()
+  in
+  let monitor = Reference_monitor.create db in
+  let meta_of (obj : World.object_) =
+    let acl =
+      match acl_for requirement.World.r_intent obj with
+      | Some acl -> acl
+      | None -> world_open obj.World.o_owner
+    in
+    let klass = lattice.class_of obj.World.o_origin obj.World.o_depts in
+    Meta.make ~owner:(ind obj.World.o_owner) ~acl klass
+  in
+  Some { db; monitor; lattice; meta_of }
+
+let mode_of_op = function
+  | World.Read -> Access_mode.Read
+  | World.Write -> Access_mode.Write
+  | World.Append -> Access_mode.Write_append
+  | World.Call -> Access_mode.Execute
+  | World.Extend -> Access_mode.Extend
+
+let subject_of config (s : World.subject) =
+  let clearance = config.lattice.class_of s.World.s_origin s.World.s_depts in
+  let base = Subject.make (ind s.World.s_name) clearance in
+  match s.World.s_ext with
+  | None -> base
+  | Some ext ->
+    Subject.with_ceiling base
+      (config.lattice.class_of ext.World.e_origin ext.World.e_depts)
+
+let decide config (s : World.subject) (obj : World.object_) op =
+  let subject = subject_of config s in
+  let meta = config.meta_of obj in
+  Decision.is_granted
+    (Reference_monitor.decide config.monitor ~subject ~meta ~mode:(mode_of_op op))

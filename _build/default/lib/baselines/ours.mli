@@ -1,0 +1,13 @@
+(** The paper's model, adapted to the abstract policy world of
+    {!World} so it can be scored by the same harness as the baselines.
+
+    Encoding maps origins to the three trust levels of the paper's
+    example ([local > organization > outside]), departments to
+    categories, and intents to ACLs; decisions run through the real
+    {!Exsec_core.Reference_monitor}.  For purely discretionary
+    intents the deployment uses a one-point lattice (a single level,
+    no categories), under which mandatory checks are trivially
+    satisfied — labelling is a per-deployment choice in the paper's
+    model. *)
+
+include Model.MODEL

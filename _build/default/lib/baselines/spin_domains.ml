@@ -1,0 +1,64 @@
+let name = "spin-domains"
+let description = "SPIN link-time domains: all-or-nothing service visibility"
+
+type domain = {
+  d_name : string;
+  d_services : string list;
+}
+
+type config = {
+  domains : domain list;
+  linked : (string * string list) list;
+      (** principal (or extension) name -> domains linked against *)
+}
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call { service; allowed } ->
+    (* A dedicated domain for the service, linked only by the allowed
+       principals: exactly what domains are for. *)
+    Some
+      {
+        domains = [ { d_name = "guarded"; d_services = [ service ] } ];
+        linked = List.map (fun who -> who, [ "guarded" ]) allowed;
+      }
+  | World.Restrict_extend { service; may_call; may_extend = _ } ->
+    (* Linking grants call AND extend together; the best available
+       configuration links the callers, and the extend boundary is
+       structurally lost. *)
+    Some
+      {
+        domains = [ { d_name = "guarded"; d_services = [ service ] } ];
+        linked = List.map (fun who -> who, [ "guarded" ]) may_call;
+      }
+  | World.Group_except _ | World.Multi_group _ | World.Per_file _
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept | World.No_leak
+  | World.Append_only_log ->
+    (* Domains cover interfaces, not files or information flow. *)
+    None
+  | World.Static_pin ->
+    (* No security classes; visibility is per-extension but carries no
+       notion of the principal running it, and file objects are out of
+       scope anyway. *)
+    None
+  | World.Class_dispatch ->
+    (* SPIN's dispatcher has guards but no caller classes; the paper
+       calls per-extension checks "ad hoc".  No principled encoding
+       exists because the linked sets would have to be maintained by
+       hand per caller class. *)
+    None
+
+let services_of config who =
+  match List.assoc_opt who config.linked with
+  | None -> []
+  | Some domain_names ->
+    List.concat_map
+      (fun d -> if List.mem d.d_name domain_names then d.d_services else [])
+      config.domains
+
+let decide config (s : World.subject) (obj : World.object_) (op : World.operation) =
+  match obj.World.o_kind, op with
+  | World.Service, (World.Call | World.Extend) ->
+    List.mem obj.World.o_path (services_of config s.World.s_name)
+  | World.Service, (World.Read | World.Write | World.Append) -> false
+  | World.File, _ -> false

@@ -1,0 +1,12 @@
+(** SPIN's domain mechanism (paper, section 1.2): system services are
+    grouped into domains; an extension is linked against a set of
+    domains and can reach exactly the services inside them — {e both}
+    to call and to extend, with no finer distinction: "an extension
+    can either call on and extend all interfaces in all domains it
+    has been linked against, or access control is ad hoc".
+
+    Domains say nothing about file objects, principals, or security
+    classes, so only service-reachability intents are expressible,
+    and the call/extend boundary of R2 is structurally lost. *)
+
+include Model.MODEL

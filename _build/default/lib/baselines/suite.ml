@@ -1,0 +1,271 @@
+open World
+
+let alice = subject ~origin:Local ~depts:[ "d1" ] ~groups:[ "staff"; "eng" ] "alice"
+let bob = subject ~origin:Local ~depts:[ "d2" ] ~groups:[ "staff"; "qa" ] "bob"
+let carol = subject ~origin:Org ~depts:[ "d1" ] ~groups:[ "staff" ] "carol"
+let dave = subject ~origin:Org ~depts:[ "d2" ] "dave"
+let both_depts = subject ~origin:Org ~depts:[ "d1"; "d2" ] "merged"
+let eve = subject ~origin:Outside "eve"
+let mallory = subject ~origin:Local ~groups:[ "staff" ] "mallory"
+
+(* R1: only designated principals may call a sensitive service. *)
+let r1 =
+  let admin_svc = service ~owner:"alice" "svc/fs_admin" in
+  {
+    r_id = "R1";
+    r_title = "execute mode: only designated principals call a service";
+    r_paper = "section 2.1";
+    r_intent = Restrict_call { service = "svc/fs_admin"; allowed = [ "alice" ] };
+    r_cases =
+      [
+        case alice admin_svc Call true;
+        case bob admin_svc Call false;
+        case carol admin_svc Call false;
+        case eve admin_svc Call false;
+      ];
+  }
+
+(* R2: extending a service is a different right from calling it. *)
+let r2 =
+  let backend = service ~owner:"alice" "svc/vfs_backend" in
+  {
+    r_id = "R2";
+    r_title = "extend mode distinct from execute mode";
+    r_paper = "sections 1.1, 2.1";
+    r_intent =
+      Restrict_extend
+        {
+          service = "svc/vfs_backend";
+          may_call = [ "alice"; "bob"; "carol" ];
+          may_extend = [ "alice" ];
+        };
+    r_cases =
+      [
+        case alice backend Call true;
+        case alice backend Extend true;
+        case bob backend Call true;
+        case bob backend Extend false;
+        case carol backend Call true;
+        case carol backend Extend false;
+      ];
+  }
+
+(* R3: negative ACL entries — the whole group except one member. *)
+let r3 =
+  let report = file ~owner:"alice" "shared/report" in
+  {
+    r_id = "R3";
+    r_title = "negative entries: a group minus one individual";
+    r_paper = "section 2.1";
+    r_intent =
+      Group_except
+        {
+          group = "staff";
+          members = [ "alice"; "bob"; "carol"; "mallory" ];
+          except = "mallory";
+          file = "shared/report";
+        };
+    r_cases =
+      [
+        case alice report Read true;
+        case bob report Read true;
+        case carol report Read true;
+        case mallory report Read false;
+        case dave report Read false;
+      ];
+  }
+
+(* R4: more than one group on one object. *)
+let r4 =
+  let plan = file ~owner:"alice" "proj/plan" in
+  {
+    r_id = "R4";
+    r_title = "several group entries on one object";
+    r_paper = "section 2.1";
+    r_intent =
+      Multi_group
+        { groups = [ "eng", [ "alice" ]; "qa", [ "bob" ] ]; file = "proj/plan" };
+    r_cases =
+      [
+        case alice plan Read true;
+        case bob plan Read true;
+        case carol plan Read false;
+        case dave plan Read false;
+      ];
+  }
+
+(* R5: per-file (not per-directory) granularity. *)
+let r5 =
+  let public = file ~owner:"alice" "home/alice/public" in
+  let secret = file ~owner:"alice" "home/alice/secret" in
+  {
+    r_id = "R5";
+    r_title = "per-file granularity within one directory";
+    r_paper = "sections 1.2, 2.3 (AFS directory granularity)";
+    r_intent =
+      Per_file
+        {
+          dir = "home/alice";
+          readable = "home/alice/public", [ "bob" ];
+          private_ = "home/alice/secret";
+        };
+    r_cases =
+      [
+        case alice public Read true;
+        case alice secret Read true;
+        case bob public Read true;
+        case bob secret Read false;
+      ];
+  }
+
+(* R6: linearly ordered trust levels. *)
+let r6 =
+  let f_local = file ~origin:Local "data/local" in
+  let f_org = file ~origin:Org "data/org" in
+  let f_out = file ~origin:Outside "data/outside" in
+  {
+    r_id = "R6";
+    r_title = "hierarchical trust levels govern read access";
+    r_paper = "section 2 (applet example), 2.2";
+    r_intent = Level_hierarchy;
+    r_cases =
+      [
+        case alice f_local Read true;
+        case alice f_org Read true;
+        case carol f_local Read false;
+        case carol f_org Read true;
+        case carol f_out Read true;
+        case eve f_org Read false;
+        case eve f_out Read true;
+      ];
+  }
+
+(* R7: categories separate compartments within one level. *)
+let r7 =
+  let f_d1 = file ~origin:Org ~depts:[ "d1" ] "org/d1-data" in
+  let f_d2 = file ~origin:Org ~depts:[ "d2" ] "org/d2-data" in
+  {
+    r_id = "R7";
+    r_title = "categories isolate departments within a level";
+    r_paper = "section 2.2";
+    r_intent = Dept_isolation;
+    r_cases =
+      [
+        case carol f_d1 Read true;
+        case carol f_d2 Read false;
+        case dave f_d2 Read true;
+        case dave f_d1 Read false;
+        case both_depts f_d1 Read true;
+        case both_depts f_d2 Read true;
+      ];
+  }
+
+(* R8: the paper's full worked example — levels x categories. *)
+let r8 =
+  let f_d1 = file ~origin:Org ~depts:[ "d1" ] "org/d1-data" in
+  let f_d2 = file ~origin:Org ~depts:[ "d2" ] "org/d2-data" in
+  let f_local = file ~origin:Local ~depts:[ "d1"; "d2" ] "local/all" in
+  let local_user = subject ~origin:Local ~depts:[ "d1"; "d2" ] "local-user" in
+  {
+    r_id = "R8";
+    r_title = "levels and categories combined (the paper's applet example)";
+    r_paper = "section 2.2";
+    r_intent = Level_and_dept;
+    r_cases =
+      [
+        case local_user f_local Read true;
+        case local_user f_d1 Read true;
+        case local_user f_d2 Read true;
+        case carol f_d1 Read true;
+        case carol f_d2 Read false;
+        case carol f_local Read false;
+        case both_depts f_d1 Read true;
+        case both_depts f_d2 Read true;
+        case eve f_d1 Read false;
+        case eve f_local Read false;
+      ];
+  }
+
+(* R9: mandatory control beats discretionary leaks. *)
+let r9 =
+  let low = file ~owner:"carol" ~origin:Outside "drop/box" in
+  let same = file ~owner:"carol" ~origin:Org ~depts:[ "d1" ] "org/carol-notes" in
+  let high_log = file ~origin:Local ~depts:[ "d1" ] "local/log" in
+  {
+    r_id = "R9";
+    r_title = "no write-down even when the owner's ACL would allow it";
+    r_paper = "section 2.2 (users can not circumvent the basic security)";
+    r_intent = No_leak;
+    r_cases =
+      [
+        case carol low Write false;  (* write-down: denied despite ownership *)
+        case carol same Write true;
+        case carol high_log Append true;  (* information may flow up *)
+        case carol high_log Read false;  (* but not back down *)
+      ];
+  }
+
+(* R10: statically assigned extension classes. *)
+let r10 =
+  let evil = { e_name = "evil"; e_origin = Outside; e_depts = [] } in
+  let benign = { e_name = "benign"; e_origin = Local; e_depts = [ "d1" ] } in
+  let f_local = file ~origin:Local ~depts:[ "d1" ] "local/data" in
+  let alice_in_evil = { alice with s_ext = Some evil } in
+  let alice_in_benign = { alice with s_ext = Some benign } in
+  {
+    r_id = "R10";
+    r_title = "a pinned extension cannot launder its caller's authority";
+    r_paper = "section 2.2 (statically assigned security classes)";
+    r_intent = Static_pin;
+    r_cases =
+      [
+        case alice f_local Read true;
+        case alice_in_benign f_local Read true;
+        case alice_in_evil f_local Read false;
+        case { eve with s_ext = Some benign } f_local Read false;
+      ];
+  }
+
+(* R11: handler selection by caller class. *)
+let r11 =
+  let h_local = service ~origin:Local "svc/handler@local" in
+  let h_org = service ~origin:Org "svc/handler@org" in
+  {
+    r_id = "R11";
+    r_title = "the right extension is selected by the caller's class";
+    r_paper = "section 2.2";
+    r_intent = Class_dispatch;
+    r_cases =
+      [
+        case alice h_local Call true;
+        case carol h_local Call false;
+        case carol h_org Call true;
+        case eve h_org Call false;
+      ];
+  }
+
+(* R12: the append-only system log. *)
+let r12 =
+  (* The log carries every category so that any subject's categories
+     are a subset of its own — everyone may append; only a
+     full-clearance auditor dominates it and may read. *)
+  let log = file ~origin:Local ~depts:[ "d1"; "d2" ] "var/log" in
+  let auditor = subject ~origin:Local ~depts:[ "d1"; "d2" ] "auditor" in
+  {
+    r_id = "R12";
+    r_title = "append without read: the system log";
+    r_paper = "sections 2.1-2.2 (write-append mode)";
+    r_intent = Append_only_log;
+    r_cases =
+      [
+        case eve log Append true;
+        case eve log Read false;
+        case eve log Write false;
+        case carol log Append true;
+        case carol log Read false;
+        case auditor log Read true;
+      ];
+  }
+
+let all = [ r1; r2; r3; r4; r5; r6; r7; r8; r9; r10; r11; r12 ]
+let find id = List.find_opt (fun r -> String.equal r.r_id id) all

@@ -1,0 +1,41 @@
+(** The policy-requirement suite for the expressiveness experiment
+    (T3).
+
+    Twelve requirements, each traceable to a claim in the paper, each
+    with concrete cases.  R1-R5 are discretionary (sections 1.2 and
+    2.1); R6-R9 mandatory (section 2.2); R10-R12 extension-specific
+    (sections 2.2-2.3).
+
+    Ground rule for encoders: a model may use the groups named in the
+    requirement's subjects, but may not synthesize new principal sets
+    — administering such sets by hand is exactly the cost that
+    negative entries and category labels exist to avoid. *)
+
+val all : World.requirement list
+(** R1..R12, in order. *)
+
+val find : string -> World.requirement option
+(** Look a requirement up by id. *)
+
+(** The shared cast of principals, for tests. *)
+
+val alice : World.subject
+(** Local, dept d1, groups staff+eng. *)
+
+val bob : World.subject
+(** Local, dept d2, groups staff+qa. *)
+
+val carol : World.subject
+(** Org, dept d1, group staff. *)
+
+val dave : World.subject
+(** Org, dept d2, no groups. *)
+
+val both_depts : World.subject
+(** Org, depts d1+d2. *)
+
+val eve : World.subject
+(** Outside, nothing else. *)
+
+val mallory : World.subject
+(** Local, in staff, individually banned in R3. *)

@@ -1,0 +1,146 @@
+let name = "unix"
+let description = "4.4BSD owner/group/other permission bits"
+
+type perm = {
+  r : bool;
+  w : bool;
+  x : bool;
+}
+
+let no_perm = { r = false; w = false; x = false }
+
+type entry = {
+  path : string;
+  owner : string;
+  group : string option;  (** a group name carried by subjects *)
+  owner_p : perm;
+  group_p : perm;
+  other_p : perm;
+}
+
+type config = entry list
+(* Objects with no entry deny everything. *)
+
+let groups_of_requirement (requirement : World.requirement) =
+  List.concat_map
+    (fun (case : World.case) -> case.World.c_subject.World.s_groups)
+    requirement.World.r_cases
+  |> List.sort_uniq String.compare
+
+(* The set of subject names (seen in the requirement) belonging to a
+   group. *)
+let members_of requirement group =
+  List.filter_map
+    (fun (case : World.case) ->
+      let s = case.World.c_subject in
+      if List.mem group s.World.s_groups then Some s.World.s_name else None)
+    requirement.World.r_cases
+  |> List.sort_uniq String.compare
+
+(* Pick an existing group that, together with [owner], covers
+   [wanted] — the best a single group slot can do. *)
+let covering_group requirement ~owner wanted =
+  let wanted = List.filter (fun name -> not (String.equal name owner)) wanted in
+  let candidates = groups_of_requirement requirement in
+  let covers group =
+    let members = members_of requirement group in
+    List.for_all (fun name -> List.mem name members) wanted
+  in
+  match List.filter covers candidates with
+  | [] -> None
+  | covering ->
+    (* Tightest covering group: fewest members. *)
+    Some
+      (List.fold_left
+         (fun best group ->
+           if List.length (members_of requirement group) < List.length (members_of requirement best)
+           then group
+           else best)
+         (List.hd covering) (List.tl covering))
+
+let entry ?(group = None) ?(owner_p = no_perm) ?(group_p = no_perm) ?(other_p = no_perm)
+    path owner =
+  { path; owner; group; owner_p; group_p; other_p }
+
+let rwx = { r = true; w = true; x = true }
+let r__ = { r = true; w = false; x = false }
+let _w_ = { r = false; w = true; x = false }
+let rw_ = { r = true; w = true; x = false }
+let __x = { r = false; w = false; x = true }
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call { service; allowed } -> (
+    (* One principal fits the owner slot; a set needs a group. *)
+    match allowed with
+    | [ single ] -> Some [ entry service single ~owner_p:rwx ]
+    | several -> (
+      match covering_group requirement ~owner:(List.hd several) several with
+      | Some group ->
+        Some
+          [ entry service (List.hd several) ~group:(Some group) ~owner_p:rwx ~group_p:__x ]
+      | None -> None))
+  | World.Restrict_extend { service; may_call; may_extend } -> (
+    (* No extend bit exists: x stands for both.  Configure x for the
+       callers; the extend boundary is necessarily lost. *)
+    let owner = match may_extend with o :: _ -> o | [] -> "root" in
+    match covering_group requirement ~owner may_call with
+    | Some group ->
+      Some [ entry service owner ~group:(Some group) ~owner_p:rwx ~group_p:__x ]
+    | None -> None)
+  | World.Group_except { group; file; _ } ->
+    (* No negative entries: the banned member keeps group access. *)
+    Some [ entry file "root" ~group:(Some group) ~owner_p:rwx ~group_p:r__ ]
+  | World.Multi_group { groups; file } -> (
+    (* One group slot: pick the first; the second group loses out. *)
+    match groups with
+    | (g, _) :: _ -> Some [ entry file "root" ~group:(Some g) ~owner_p:rwx ~group_p:r__ ]
+    | [] -> None)
+  | World.Per_file { readable = readable_path, readers; private_; dir = _ } -> (
+    (* Unix is genuinely per-file; only the reader set must match an
+       existing group. *)
+    match covering_group requirement ~owner:"" readers with
+    | Some group ->
+      Some
+        [
+          entry readable_path "alice" ~group:(Some group) ~owner_p:rwx ~group_p:r__;
+          entry private_ "alice" ~owner_p:rwx;
+        ]
+    | None -> None)
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept ->
+    (* No labels, and no origin-based groups exist to borrow. *)
+    None
+  | World.No_leak ->
+    (* The natural discretionary configuration: owners hold rw on
+       their own files, the log accepts writes from everyone.  DAC has
+       no way to stop the owner's write-down. *)
+    Some
+      [
+        entry "drop/box" "carol" ~owner_p:rw_;
+        entry "org/carol-notes" "carol" ~owner_p:rw_;
+        entry "local/log" "root" ~owner_p:rwx ~other_p:_w_;
+      ]
+  | World.Static_pin | World.Class_dispatch ->
+    (* No notion of extension identity or code classes. *)
+    None
+  | World.Append_only_log ->
+    (* w grants full write (no append-only bit); reads limited to the
+       owner, which the roaming auditor is not. *)
+    Some [ entry "var/log" "root" ~owner_p:rw_ ~other_p:_w_ ]
+
+let perm_for config (s : World.subject) (obj : World.object_) =
+  match List.find_opt (fun e -> String.equal e.path obj.World.o_path) config with
+  | None -> no_perm
+  | Some e ->
+    if String.equal s.World.s_name e.owner then e.owner_p
+    else (
+      match e.group with
+      | Some group when List.mem group s.World.s_groups -> e.group_p
+      | Some _ | None -> e.other_p)
+
+let decide config s obj (op : World.operation) =
+  let perm = perm_for config s obj in
+  match op with
+  | World.Read -> perm.r
+  | World.Write | World.Append -> perm.w
+  | World.Call | World.Extend -> perm.x

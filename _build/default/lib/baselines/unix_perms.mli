@@ -1,0 +1,12 @@
+(** Unix (4.4BSD) permission bits: one owner, one group, one "other"
+    tier, each with read/write/execute — the paper calls this
+    "primitive and, barely, [offering] adequate security to protect
+    file access" (sections 1.2, 2).
+
+    No negative entries, a single group per object, no append-only
+    distinction ([Append] and [Write] both map to the [w] bit),
+    [Call] and [Extend] both map to the [x] bit, and no mandatory
+    layer.  Encoders may only use the groups already present on the
+    requirement's subjects. *)
+
+include Model.MODEL

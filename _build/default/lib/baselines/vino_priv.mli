@@ -1,0 +1,12 @@
+(** VINO's protection as the paper reports it (section 1.2, citing a
+    personal communication): the system "distinguishes between
+    regular and privileged users, and uses dynamic privilege checks
+    before accessing sensitive data".
+
+    Modelled as one global privileged-user set plus a per-object
+    sensitivity flag: privileged users pass every check; regular
+    users are refused on sensitive objects and admitted elsewhere.
+    One bit of subject state buys exactly one policy boundary, so
+    multi-level and compartment intents are out of reach. *)
+
+include Model.MODEL

@@ -1,0 +1,112 @@
+type origin =
+  | Local
+  | Org
+  | Outside
+
+let origin_rank = function
+  | Local -> 2
+  | Org -> 1
+  | Outside -> 0
+
+let pp_origin ppf origin =
+  Format.pp_print_string ppf
+    (match origin with
+    | Local -> "local"
+    | Org -> "organization"
+    | Outside -> "outside")
+
+type ext = {
+  e_name : string;
+  e_origin : origin;
+  e_depts : string list;
+}
+
+type subject = {
+  s_name : string;
+  s_origin : origin;
+  s_depts : string list;
+  s_privileged : bool;
+  s_groups : string list;
+  s_ext : ext option;
+}
+
+type kind =
+  | File
+  | Service
+
+type object_ = {
+  o_path : string;
+  o_owner : string;
+  o_origin : origin;
+  o_depts : string list;
+  o_kind : kind;
+}
+
+type operation =
+  | Read
+  | Write
+  | Append
+  | Call
+  | Extend
+
+let pp_operation ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Read -> "read"
+    | Write -> "write"
+    | Append -> "append"
+    | Call -> "call"
+    | Extend -> "extend")
+
+type case = {
+  c_subject : subject;
+  c_object : object_;
+  c_op : operation;
+  c_expect : bool;
+}
+
+type intent =
+  | Restrict_call of { service : string; allowed : string list }
+  | Restrict_extend of { service : string; may_call : string list; may_extend : string list }
+  | Group_except of { group : string; members : string list; except : string; file : string }
+  | Multi_group of { groups : (string * string list) list; file : string }
+  | Per_file of { dir : string; readable : string * string list; private_ : string }
+  | Level_hierarchy
+  | Dept_isolation
+  | Level_and_dept
+  | No_leak
+  | Static_pin
+  | Class_dispatch
+  | Append_only_log
+
+type requirement = {
+  r_id : string;
+  r_title : string;
+  r_paper : string;
+  r_intent : intent;
+  r_cases : case list;
+}
+
+let subject ?(origin = Local) ?(depts = []) ?(privileged = false) ?(groups = []) ?ext
+    name =
+  {
+    s_name = name;
+    s_origin = origin;
+    s_depts = depts;
+    s_privileged = privileged;
+    s_groups = groups;
+    s_ext = ext;
+  }
+
+let file ?(owner = "root") ?(origin = Local) ?(depts = []) path =
+  { o_path = path; o_owner = owner; o_origin = origin; o_depts = depts; o_kind = File }
+
+let service ?(owner = "root") ?(origin = Local) ?(depts = []) path =
+  { o_path = path; o_owner = owner; o_origin = origin; o_depts = depts; o_kind = Service }
+
+let case c_subject c_object c_op c_expect = { c_subject; c_object; c_op; c_expect }
+
+let dir_of obj =
+  match String.rindex_opt obj.o_path '/' with
+  | None -> ""
+  | Some i -> String.sub obj.o_path 0 i

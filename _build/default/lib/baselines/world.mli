@@ -1,0 +1,130 @@
+(** The abstract policy world the expressiveness experiment (T3) is
+    phrased in.
+
+    Section 1.2 of the paper argues that the protection mechanisms of
+    Unix, AFS, Windows NT, the Java sandbox, SPIN domains and VINO
+    cannot express the policies extensible systems need.  To compare
+    those mechanisms {e and} the paper's model on equal footing, each
+    policy {e requirement} is stated here abstractly: an {!intent}
+    (what the policy is supposed to achieve) plus concrete {!case}s
+    (subject, object, operation, expected decision).  Every protection
+    model translates the intent into its own configuration; the
+    harness then replays the cases and scores the model
+    ({!Model.evaluate}). *)
+
+type origin =
+  | Local  (** code/data from the local machine — most trusted *)
+  | Org  (** from within the organization *)
+  | Outside  (** from beyond the organization — least trusted *)
+
+val origin_rank : origin -> int
+(** [2] for [Local] down to [0] for [Outside]. *)
+
+val pp_origin : Format.formatter -> origin -> unit
+
+type ext = {
+  e_name : string;
+  e_origin : origin;  (** where the extension's code came from *)
+  e_depts : string list;
+}
+(** An extension a subject may be running through; its attributes cap
+    the subject's authority in models that support static classes. *)
+
+type subject = {
+  s_name : string;
+  s_origin : origin;
+  s_depts : string list;  (** departments / compartments *)
+  s_privileged : bool;  (** VINO-style privilege bit *)
+  s_groups : string list;  (** named groups the principal belongs to *)
+  s_ext : ext option;  (** running inside this extension, if any *)
+}
+
+type kind =
+  | File
+  | Service
+
+type object_ = {
+  o_path : string;  (** ["dir/name"]; the directory component matters
+                        to models with directory-granularity ACLs *)
+  o_owner : string;
+  o_origin : origin;  (** the object's classification level *)
+  o_depts : string list;
+  o_kind : kind;
+}
+
+type operation =
+  | Read
+  | Write
+  | Append
+  | Call  (** invoke a service *)
+  | Extend  (** specialize a service *)
+
+val pp_operation : Format.formatter -> operation -> unit
+
+type case = {
+  c_subject : subject;
+  c_object : object_;
+  c_op : operation;
+  c_expect : bool;  (** should a correct enforcement grant this? *)
+}
+
+(** What the policy is meant to achieve — the input every model's
+    encoder translates. *)
+type intent =
+  | Restrict_call of { service : string; allowed : string list }
+      (** only the listed principals may call [service] *)
+  | Restrict_extend of { service : string; may_call : string list; may_extend : string list }
+      (** calling and extending [service] are distinct rights *)
+  | Group_except of { group : string; members : string list; except : string; file : string }
+      (** the group may read [file] — except one member *)
+  | Multi_group of { groups : (string * string list) list; file : string }
+      (** members of any listed group may read [file] *)
+  | Per_file of { dir : string; readable : string * string list; private_ : string }
+      (** within one directory, [readable] is open to the listed
+          principals while [private_] stays owner-only *)
+  | Level_hierarchy
+      (** local applets read all files, org applets org-and-below,
+          outside applets none (paper, section 2) *)
+  | Dept_isolation
+      (** same level, different departments: no cross access (paper,
+          section 2.2) *)
+  | Level_and_dept
+      (** the paper's full worked example: levels x department
+          subsets *)
+  | No_leak
+      (** information-flow: a subject must not be able to pass
+          high data down, even via objects its DAC rights allow *)
+  | Static_pin
+      (** an outside-origin extension run by a local principal gets
+          only outside authority *)
+  | Class_dispatch
+      (** an org-level caller of an extended service must reach the
+          org-class handler, never the local-class one *)
+  | Append_only_log
+      (** everyone appends to the log; only high subjects read it;
+          nobody below the log's level truncates it *)
+
+type requirement = {
+  r_id : string;  (** e.g. ["R1"] *)
+  r_title : string;
+  r_paper : string;  (** the paper section motivating it *)
+  r_intent : intent;
+  r_cases : case list;
+}
+
+val subject :
+  ?origin:origin -> ?depts:string list -> ?privileged:bool -> ?groups:string list ->
+  ?ext:ext -> string -> subject
+(** Defaults: [Local] origin, no departments, unprivileged, no
+    groups, no extension. *)
+
+val file : ?owner:string -> ?origin:origin -> ?depts:string list -> string -> object_
+(** Defaults: owner ["root"], [Local] origin, no departments. *)
+
+val service : ?owner:string -> ?origin:origin -> ?depts:string list -> string -> object_
+
+val case : subject -> object_ -> operation -> bool -> case
+
+val dir_of : object_ -> string
+(** The directory component of the object's path (["" ] when the path
+    has no slash). *)

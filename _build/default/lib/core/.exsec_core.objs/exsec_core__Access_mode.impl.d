@@ -1,0 +1,1 @@
+lib/core/access_mode.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/core/acl.ml: Access_mode Array Format List Principal

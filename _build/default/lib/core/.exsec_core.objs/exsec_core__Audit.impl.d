@@ -1,0 +1,1 @@
+lib/core/audit.ml: Access_mode Array Decision Format Security_class Stdlib Subject

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Access_mode Decision Format Security_class Subject

@@ -1,0 +1,1 @@
+lib/core/clearance.ml: Digest Format Hashtbl List Option Principal Security_class String Subject

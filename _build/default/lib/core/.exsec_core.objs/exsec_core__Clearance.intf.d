@@ -1,0 +1,1 @@
+lib/core/clearance.mli: Format Principal Security_class Subject

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Acl Format Integrity Mac Principal String

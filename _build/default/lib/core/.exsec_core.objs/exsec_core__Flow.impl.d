@@ -1,0 +1,1 @@
+lib/core/flow.ml: Access_mode Audit Decision Format Hashtbl List Principal Security_class Subject

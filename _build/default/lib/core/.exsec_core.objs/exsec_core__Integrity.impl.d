@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Access_mode Format Security_class

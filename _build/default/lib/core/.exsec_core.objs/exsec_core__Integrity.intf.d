@@ -1,0 +1,1 @@
+lib/core/integrity.mli: Access_mode Format Security_class

@@ -1,0 +1,1 @@
+lib/core/level.ml: Array Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/core/mac.ml: Access_mode Format Security_class

@@ -1,0 +1,1 @@
+lib/core/mac.mli: Access_mode Format Security_class

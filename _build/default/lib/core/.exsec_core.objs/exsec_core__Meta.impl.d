@@ -1,0 +1,1 @@
+lib/core/meta.ml: Acl Format Principal Security_class

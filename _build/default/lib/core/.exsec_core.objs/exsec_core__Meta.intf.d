@@ -1,0 +1,1 @@
+lib/core/meta.mli: Acl Format Principal Security_class

@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Format Hashtbl List Meta Path String

@@ -1,0 +1,1 @@
+lib/core/path.ml: Format List String

@@ -1,0 +1,1 @@
+lib/core/policy_text.ml: Access_mode Acl Bool Buffer Category Clearance Format Hashtbl Int Level List Meta Option Principal Printf Security_class String

@@ -1,0 +1,1 @@
+lib/core/policy_text.mli: Category Clearance Format Level Meta Principal

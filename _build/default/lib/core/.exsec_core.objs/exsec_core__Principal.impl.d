@@ -1,0 +1,1 @@
+lib/core/principal.ml: Format Hashtbl List Printf Set String

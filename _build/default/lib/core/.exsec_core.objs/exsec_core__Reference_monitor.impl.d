@@ -1,0 +1,1 @@
+lib/core/reference_monitor.ml: Access_mode Acl Audit Decision Integrity Mac Meta Policy Principal Result Security_class Subject

@@ -1,0 +1,1 @@
+lib/core/reference_monitor.mli: Access_mode Acl Audit Decision Meta Policy Principal Security_class Subject

@@ -1,0 +1,1 @@
+lib/core/resolver.ml: Access_mode Decision Format List Namespace Path Reference_monitor String

@@ -1,0 +1,1 @@
+lib/core/resolver.mli: Access_mode Acl Decision Format Meta Namespace Path Reference_monitor Security_class Subject

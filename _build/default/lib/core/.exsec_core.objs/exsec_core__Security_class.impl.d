@@ -1,0 +1,1 @@
+lib/core/security_class.ml: Category Format Level

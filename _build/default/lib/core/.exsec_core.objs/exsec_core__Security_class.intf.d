@@ -1,0 +1,1 @@
+lib/core/security_class.mli: Category Format Level

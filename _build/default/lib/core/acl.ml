@@ -1,0 +1,126 @@
+type who =
+  | Individual of Principal.individual
+  | Group of Principal.group
+  | Everyone
+
+type sign =
+  | Allow
+  | Deny
+
+type entry = {
+  who : who;
+  sign : sign;
+  modes : Access_mode.Set.t;
+}
+
+type t = entry list
+
+let empty = []
+let of_entries entries = entries
+let entries acl = acl
+let add e acl = acl @ [ e ]
+let length = List.length
+
+let equal_who a b =
+  match a, b with
+  | Individual i, Individual j -> Principal.equal_individual i j
+  | Group g, Group h -> Principal.equal_group g h
+  | Everyone, Everyone -> true
+  | (Individual _ | Group _ | Everyone), _ -> false
+
+let equal_entry a b =
+  equal_who a.who b.who && a.sign = b.sign && Access_mode.Set.equal a.modes b.modes
+
+let equal a b = List.equal equal_entry a b
+
+let pp_who ppf = function
+  | Individual ind -> Format.fprintf ppf "user:%a" Principal.pp_individual ind
+  | Group grp -> Format.fprintf ppf "group:%a" Principal.pp_group grp
+  | Everyone -> Format.pp_print_string ppf "everyone"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s %a %a"
+    (match e.sign with Allow -> "allow" | Deny -> "deny")
+    pp_who e.who Access_mode.Set.pp e.modes
+
+let pp ppf acl =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_entry)
+    acl
+
+let entry who sign modes = { who; sign; modes = Access_mode.Set.of_list modes }
+let allow who modes = entry who Allow modes
+let deny who modes = entry who Deny modes
+let allow_all who = { who; sign = Allow; modes = Access_mode.Set.full }
+let owner_default owner = [ allow_all (Individual owner) ]
+
+type verdict =
+  | Granted of who
+  | Denied_by of who
+  | No_entry
+
+(* Precedence tiers, most specific first. *)
+let tier = function
+  | Individual _ -> 0
+  | Group _ -> 1
+  | Everyone -> 2
+
+let matches_subject ~db ~subject who =
+  match who with
+  | Individual ind -> Principal.equal_individual ind subject
+  | Group grp -> Principal.Db.is_member db subject grp
+  | Everyone -> true
+
+let check ~db ~subject ~mode acl =
+  (* One pass: remember, for each tier, whether a matching allow or
+     deny for [mode] was seen.  The most specific tier with any match
+     decides; deny beats allow within a tier. *)
+  let allow_at = [| false; false; false |] in
+  let deny_at = [| None; None; None |] in
+  let scan e =
+    if Access_mode.Set.mem mode e.modes && matches_subject ~db ~subject e.who then begin
+      let t = tier e.who in
+      match e.sign with
+      | Allow -> allow_at.(t) <- true
+      | Deny -> if deny_at.(t) = None then deny_at.(t) <- Some e.who
+    end
+  in
+  List.iter scan acl;
+  let rec decide t =
+    if t > 2 then No_entry
+    else
+      match deny_at.(t), allow_at.(t) with
+      | Some who, _ -> Denied_by who
+      | None, true ->
+        let who =
+          match t with
+          | 0 -> Individual subject
+          | 1 ->
+            (* Report the first matching allow group for diagnostics. *)
+            (match
+               List.find_opt
+                 (fun e ->
+                   e.sign = Allow && tier e.who = 1
+                   && Access_mode.Set.mem mode e.modes
+                   && matches_subject ~db ~subject e.who)
+                 acl
+             with
+            | Some e -> e.who
+            | None -> Everyone)
+          | _ -> Everyone
+        in
+        Granted who
+      | None, false -> decide (t + 1)
+  in
+  decide 0
+
+let permits ~db ~subject ~mode acl =
+  match check ~db ~subject ~mode acl with
+  | Granted _ -> true
+  | Denied_by _ | No_entry -> false
+
+let modes_of ~db ~subject acl =
+  List.fold_left
+    (fun set mode ->
+      if permits ~db ~subject ~mode acl then Access_mode.Set.add mode set else set)
+    Access_mode.Set.empty Access_mode.all

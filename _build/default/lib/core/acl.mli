@@ -1,0 +1,81 @@
+(** Fully featured access control lists (paper, section 2.1).
+
+    An ACL is an ordered list of entries.  Each entry names a
+    principal — an individual, a group, or everyone — carries a sign
+    (positive entries grant, negative entries deny) and a set of
+    access modes.
+
+    Evaluation semantics (fixed in DESIGN.md): entries are grouped in
+    three precedence tiers, {e individual} over {e group} over
+    {e everyone}.  The most specific tier with any matching entry for
+    the requested mode decides; within that tier a matching deny wins
+    over a matching allow.  If no entry matches the request at any
+    tier, access is denied (closed world). *)
+
+type who =
+  | Individual of Principal.individual
+  | Group of Principal.group
+  | Everyone
+
+type sign =
+  | Allow
+  | Deny
+
+type entry = {
+  who : who;
+  sign : sign;
+  modes : Access_mode.Set.t;
+}
+
+type t
+
+val empty : t
+(** The ACL that denies everything. *)
+
+val of_entries : entry list -> t
+val entries : t -> entry list
+val add : entry -> t -> t
+(** [add e acl] appends [e] to [acl]'s entries. *)
+
+val length : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val entry : who -> sign -> Access_mode.t list -> entry
+(** Convenience constructor. *)
+
+val allow : who -> Access_mode.t list -> entry
+val deny : who -> Access_mode.t list -> entry
+
+val allow_all : who -> entry
+(** Grant every access mode to [who]. *)
+
+val owner_default : Principal.individual -> t
+(** The conventional initial ACL for a freshly created object: its
+    owner holds every mode, nobody else holds any. *)
+
+type verdict =
+  | Granted of who  (** the entry class that decided *)
+  | Denied_by of who  (** an explicit matching deny decided *)
+  | No_entry  (** closed-world default denial *)
+
+val check :
+  db:Principal.Db.t ->
+  subject:Principal.individual ->
+  mode:Access_mode.t ->
+  t ->
+  verdict
+(** [check ~db ~subject ~mode acl] evaluates the ACL for [subject]
+    requesting [mode], resolving group membership through [db]. *)
+
+val permits :
+  db:Principal.Db.t ->
+  subject:Principal.individual ->
+  mode:Access_mode.t ->
+  t ->
+  bool
+(** [true] iff {!check} returns [Granted _]. *)
+
+val modes_of :
+  db:Principal.Db.t -> subject:Principal.individual -> t -> Access_mode.Set.t
+(** The exact set of modes {!permits} would grant [subject]. *)

@@ -1,0 +1,53 @@
+type event = {
+  seq : int;
+  subject : Subject.t;
+  object_name : string;
+  object_id : int;
+  object_class : Security_class.t;
+  mode : Access_mode.t;
+  decision : Decision.t;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable next_seq : int;
+  mutable granted : int;
+  mutable denied : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next_seq = 0; granted = 0; denied = 0 }
+
+let record log ~subject ~object_name ~object_id ~object_class ~mode decision =
+  let event =
+    { seq = log.next_seq; subject; object_name; object_id; object_class; mode; decision }
+  in
+  log.ring.(log.next_seq mod log.capacity) <- Some event;
+  log.next_seq <- log.next_seq + 1;
+  if Decision.is_granted decision then log.granted <- log.granted + 1
+  else log.denied <- log.denied + 1
+
+let events log =
+  let collected = ref [] in
+  for i = log.next_seq - 1 downto Stdlib.max 0 (log.next_seq - log.capacity) do
+    match log.ring.(i mod log.capacity) with
+    | Some event -> collected := event :: !collected
+    | None -> ()
+  done;
+  !collected
+
+let granted_total log = log.granted
+let denied_total log = log.denied
+let total log = log.granted + log.denied
+
+let clear log =
+  Array.fill log.ring 0 log.capacity None;
+  log.next_seq <- 0;
+  log.granted <- 0;
+  log.denied <- 0
+
+let pp_event ppf event =
+  Format.fprintf ppf "#%d %a %a %s: %a" event.seq Subject.pp event.subject
+    Access_mode.pp event.mode event.object_name Decision.pp event.decision

@@ -1,0 +1,42 @@
+(** Audit log of security-relevant events.
+
+    The paper lists auditing among the concerns an access-control
+    model must support.  The reference monitor records every decision
+    here; the log keeps the most recent [capacity] events plus running
+    totals, so long benchmarks do not grow memory without bound. *)
+
+type event = {
+  seq : int;  (** monotonically increasing event number *)
+  subject : Subject.t;  (** the acting subject, as of the check *)
+  object_name : string;
+  object_id : int;  (** the object's unique identity ({!Meta.t}[.id]) *)
+  object_class : Security_class.t;  (** the object's class at check time *)
+  mode : Access_mode.t;
+  decision : Decision.t;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained events (default 4096, must be > 0). *)
+
+val record :
+  t ->
+  subject:Subject.t ->
+  object_name:string ->
+  object_id:int ->
+  object_class:Security_class.t ->
+  mode:Access_mode.t ->
+  Decision.t ->
+  unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val granted_total : t -> int
+val denied_total : t -> int
+val total : t -> int
+val clear : t -> unit
+(** Forget retained events and totals. *)
+
+val pp_event : Format.formatter -> event -> unit

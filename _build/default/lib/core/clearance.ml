@@ -1,0 +1,81 @@
+type record = {
+  clearance : Security_class.t;
+  integrity : Security_class.t option;
+  trusted : bool;
+  secret_digest : string option;
+}
+
+type t = { table : (string, record) Hashtbl.t }
+
+type error =
+  | Unknown_principal of Principal.individual
+  | Bad_secret
+  | Above_clearance of {
+      requested : Security_class.t;
+      clearance : Security_class.t;
+    }
+
+let pp_error ppf = function
+  | Unknown_principal ind ->
+    Format.fprintf ppf "unknown principal %a" Principal.pp_individual ind
+  | Bad_secret -> Format.pp_print_string ppf "authentication failed"
+  | Above_clearance { requested; clearance } ->
+    Format.fprintf ppf "requested class %a exceeds clearance %a" Security_class.pp
+      requested Security_class.pp clearance
+
+let create () = { table = Hashtbl.create 16 }
+
+let digest secret = Digest.string ("exsec-clearance:" ^ secret)
+
+let register registry ?secret ?integrity ?(trusted = false) ind clearance =
+  Hashtbl.replace registry.table
+    (Principal.individual_name ind)
+    { clearance; integrity; trusted; secret_digest = Option.map digest secret }
+
+let revoke registry ind = Hashtbl.remove registry.table (Principal.individual_name ind)
+
+let find registry ind = Hashtbl.find_opt registry.table (Principal.individual_name ind)
+
+let clearance_of registry ind = Option.map (fun r -> r.clearance) (find registry ind)
+
+type detail = {
+  clearance : Security_class.t;
+  integrity : Security_class.t option;
+  trusted : bool;
+}
+
+let detail_of registry ind =
+  Option.map
+    (fun (r : record) : detail ->
+      { clearance = r.clearance; integrity = r.integrity; trusted = r.trusted })
+    (find registry ind)
+
+let is_registered registry ind = find registry ind <> None
+
+let registered registry =
+  Hashtbl.fold (fun name _ acc -> Principal.individual name :: acc) registry.table []
+  |> List.sort Principal.compare_individual
+
+let session (record : record) ?at ind =
+  let requested =
+    match at with
+    | None -> record.clearance
+    | Some requested -> requested
+  in
+  if Security_class.dominates record.clearance requested then
+    Ok
+      (Subject.make ~trusted:record.trusted ?integrity:record.integrity ind requested)
+  else Error (Above_clearance { requested; clearance = record.clearance })
+
+let login registry ?at ind =
+  match find registry ind with
+  | None -> Error (Unknown_principal ind)
+  | Some record -> session record ?at ind
+
+let authenticate registry ~secret ?at ind =
+  match find registry ind with
+  | None -> Error (Unknown_principal ind)
+  | Some record -> (
+    match record.secret_digest with
+    | Some expected when String.equal expected (digest secret) -> session record ?at ind
+    | Some _ | None -> Error Bad_secret)

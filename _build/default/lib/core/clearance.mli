@@ -1,0 +1,75 @@
+(** Principal clearances and session establishment.
+
+    The paper lists "the authentication of extensions (and
+    principals)" among the concerns its model depends on but does not
+    develop (section 1).  This module supplies the minimal mechanism
+    the rest of the system needs: a registry recording each
+    principal's {e maximum} security class (clearance), optional
+    integrity class and trust bit, plus a secret for authentication —
+    and a [login] that mints {!Subject.t} values, enforcing that a
+    session never starts above its principal's clearance.
+
+    Subjects obtained here are the only sanctioned way to act in a
+    deployment that uses the registry; constructing subjects directly
+    remains possible for tests and embedders, exactly as a kernel can
+    always fabricate credentials. *)
+
+type t
+
+type error =
+  | Unknown_principal of Principal.individual
+  | Bad_secret
+  | Above_clearance of {
+      requested : Security_class.t;
+      clearance : Security_class.t;
+    }  (** the requested session class is not dominated by the
+           registered clearance *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : unit -> t
+
+val register :
+  t ->
+  ?secret:string ->
+  ?integrity:Security_class.t ->
+  ?trusted:bool ->
+  Principal.individual ->
+  Security_class.t ->
+  unit
+(** Record (or replace) a principal's clearance.  [secret] (stored as
+    a digest, never in the clear) enables {!authenticate}; without one
+    only {!login} works.  [trusted] marks TCB principals. *)
+
+val revoke : t -> Principal.individual -> unit
+(** Forget the principal; subsequent logins fail.  Already-issued
+    subjects are unaffected — revocation of outstanding authority is
+    the ACL/recheck machinery's job. *)
+
+val clearance_of : t -> Principal.individual -> Security_class.t option
+
+type detail = {
+  clearance : Security_class.t;
+  integrity : Security_class.t option;
+  trusted : bool;
+}
+
+val detail_of : t -> Principal.individual -> detail option
+(** Everything registered about a principal except its secret. *)
+
+val is_registered : t -> Principal.individual -> bool
+
+val registered : t -> Principal.individual list
+(** Sorted by name. *)
+
+val login :
+  t -> ?at:Security_class.t -> Principal.individual -> (Subject.t, error) result
+(** Start a session.  [at] requests a session class below the
+    clearance (a high-cleared user working low, standard MLS
+    practice); default is the full clearance. *)
+
+val authenticate :
+  t -> secret:string -> ?at:Security_class.t -> Principal.individual ->
+  (Subject.t, error) result
+(** {!login} gated on the registered secret.  Principals registered
+    without a secret always fail with [Bad_secret]. *)

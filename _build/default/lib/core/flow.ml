@@ -1,0 +1,98 @@
+type finding =
+  | Read_up of Audit.event
+  | Write_down of Audit.event
+  | Transitive_leak of {
+      watermark : Security_class.t;
+      event : Audit.event;
+    }
+
+type report = {
+  scanned : int;
+  grants : int;
+  findings : finding list;
+}
+
+(* Watermarks are tracked per principal — distinct subjects of one
+   principal share an information channel (the principal's own state)
+   — and per object (by audit name): what flows into an object flows
+   out to its later readers, so laundering through an intermediary
+   object between principals is caught too. *)
+let analyse events =
+  let watermarks : (string, Security_class.t) Hashtbl.t = Hashtbl.create 16 in
+  let object_marks : (int, Security_class.t) Hashtbl.t = Hashtbl.create 16 in
+  let scanned = ref 0 in
+  let grants = ref 0 in
+  let findings = ref [] in
+  let note finding = findings := finding :: !findings in
+  let replay (event : Audit.event) =
+    incr scanned;
+    (* Trusted (TCB) subjects are exempt from the star property by
+       definition; their administrative write-downs are not leaks. *)
+    if Decision.is_granted event.Audit.decision
+       && not (Subject.is_trusted event.Audit.subject)
+    then begin
+      incr grants;
+      let subject_class = Subject.effective_class event.Audit.subject in
+      let key = Principal.individual_name (Subject.principal event.Audit.subject) in
+      let object_class = event.Audit.object_class in
+      if Access_mode.is_read_like event.Audit.mode then begin
+        if not (Security_class.dominates subject_class object_class) then
+          note (Read_up event);
+        (* Observation raises the principal's watermark by everything
+           the object's class admits AND everything previously written
+           into it. *)
+        let incoming =
+          match Hashtbl.find_opt object_marks event.Audit.object_id with
+          | None -> object_class
+          | Some mark -> Security_class.join object_class mark
+        in
+        let watermark =
+          match Hashtbl.find_opt watermarks key with
+          | None -> Security_class.join subject_class incoming
+          | Some current -> Security_class.join current incoming
+        in
+        Hashtbl.replace watermarks key watermark
+      end
+      else begin
+        if not (Security_class.dominates object_class subject_class) then
+          note (Write_down event);
+        let outgoing =
+          match Hashtbl.find_opt watermarks key with
+          | None -> subject_class
+          | Some watermark -> watermark
+        in
+        if not (Security_class.dominates object_class outgoing) then (
+          match Hashtbl.find_opt watermarks key with
+          | Some watermark -> note (Transitive_leak { watermark; event })
+          | None -> ());
+        (* The write taints the object with everything the writer may
+           be carrying. *)
+        let mark =
+          match Hashtbl.find_opt object_marks event.Audit.object_id with
+          | None -> Security_class.join object_class outgoing
+          | Some mark -> Security_class.join mark outgoing
+        in
+        Hashtbl.replace object_marks event.Audit.object_id mark
+      end
+    end
+  in
+  List.iter replay events;
+  { scanned = !scanned; grants = !grants; findings = List.rev !findings }
+
+let analyse_log log = analyse (Audit.events log)
+let is_clean report = report.findings = []
+
+let pp_finding ppf = function
+  | Read_up event -> Format.fprintf ppf "read-up granted: %a" Audit.pp_event event
+  | Write_down event -> Format.fprintf ppf "write-down granted: %a" Audit.pp_event event
+  | Transitive_leak { watermark; event } ->
+    Format.fprintf ppf "transitive leak (watermark %a): %a" Security_class.pp watermark
+      Audit.pp_event event
+
+let pp_report ppf report =
+  Format.fprintf ppf "scanned %d event(s), %d grant(s): " report.scanned report.grants;
+  match report.findings with
+  | [] -> Format.pp_print_string ppf "no flow violations"
+  | findings ->
+    Format.fprintf ppf "%d violation(s)@." (List.length findings);
+    Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_finding ppf findings

@@ -1,0 +1,58 @@
+(** Information-flow analysis over audit trails.
+
+    The paper claims that with lattice-based mandatory control "all
+    flow of information in an extensible system can … be tightly
+    controlled" (section 2.2).  This module checks that claim against
+    what actually happened: given the audit log of a run, it replays
+    every {e granted} access and reports
+
+    - direct violations of the simple-security property (a granted
+      read-like access whose subject did not dominate the object),
+    - direct violations of the [*]-property (a granted write-like
+      access whose object did not dominate the subject), and
+    - {e transitive} leaks found with a high-water-mark replay (after
+      Weissman's ADEPT-50): each principal's watermark is the join of
+      everything it has observed, each object's watermark the join of
+      everything written into it (objects are identified by their
+      unique {!Meta.t} identities, so name reuse after delete +
+      recreate does not alias).  Reads propagate object watermarks to principals
+      and writes propagate principal watermarks to objects, so a leak
+      laundered through an intermediary object {e between} principals
+      is reported at the final downward write.
+
+    Under the default DAC+MAC policy the report must be empty (a
+    qcheck property and bench A2 check this); under [Policy.dac_only]
+    it exposes exactly the flows discretionary control cannot stop.
+
+    Events whose subject is a Bell-LaPadula {e trusted subject} (the
+    TCB) are skipped: their administrative write-downs are sanctioned
+    by definition.
+
+    All events must come from one deployment (one level hierarchy and
+    category universe); mixing lattices is a programming error. *)
+
+type finding =
+  | Read_up of Audit.event
+      (** granted observation above the subject's class *)
+  | Write_down of Audit.event
+      (** granted modification below the subject's class *)
+  | Transitive_leak of {
+      watermark : Security_class.t;  (** join of everything observed *)
+      event : Audit.event;  (** the write that could carry it down *)
+    }
+
+type report = {
+  scanned : int;  (** events examined *)
+  grants : int;  (** granted events replayed *)
+  findings : finding list;  (** in event order *)
+}
+
+val analyse : Audit.event list -> report
+(** Replay a trail (oldest first, as {!Audit.events} returns it). *)
+
+val analyse_log : Audit.t -> report
+(** [analyse (Audit.events log)]. *)
+
+val is_clean : report -> bool
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit

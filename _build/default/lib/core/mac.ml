@@ -1,0 +1,33 @@
+type overwrite_rule =
+  | Liberal
+  | Strict
+
+let read_ok ~subject ~object_ = Security_class.dominates subject object_
+let write_ok ~subject ~object_ = Security_class.dominates object_ subject
+
+type denial =
+  | Read_up
+  | Write_down
+  | Blind_overwrite
+
+let check ~rule ~subject ~object_ mode =
+  if Access_mode.is_read_like mode then
+    if read_ok ~subject ~object_ then Ok () else Error Read_up
+  else if not (write_ok ~subject ~object_) then Error Write_down
+  else
+    match rule, mode with
+    | Strict, (Access_mode.Write | Access_mode.Delete)
+      when not (Security_class.equal subject object_) ->
+      Error Blind_overwrite
+    | (Strict | Liberal), _ -> Ok ()
+
+let permits ~rule ~subject ~object_ mode =
+  match check ~rule ~subject ~object_ mode with
+  | Ok () -> true
+  | Error _ -> false
+
+let pp_denial ppf = function
+  | Read_up -> Format.pp_print_string ppf "read-up (subject class does not dominate object)"
+  | Write_down -> Format.pp_print_string ppf "write-down (object class does not dominate subject)"
+  | Blind_overwrite ->
+    Format.pp_print_string ppf "blind overwrite (strict rule requires equal classes; use write-append)"

@@ -1,0 +1,39 @@
+type t = {
+  id : int;
+  mutable owner : Principal.individual;
+  mutable acl : Acl.t;
+  mutable klass : Security_class.t;
+  mutable integrity : Security_class.t option;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let make ~owner ?acl ?integrity klass =
+  let acl =
+    match acl with
+    | Some acl -> acl
+    | None -> Acl.owner_default owner
+  in
+  { id = fresh_id (); owner; acl; klass; integrity }
+
+let copy meta =
+  {
+    id = fresh_id ();
+    owner = meta.owner;
+    acl = meta.acl;
+    klass = meta.klass;
+    integrity = meta.integrity;
+  }
+
+let set_owner meta owner = meta.owner <- owner
+let set_acl_raw meta acl = meta.acl <- acl
+let set_klass_raw meta klass = meta.klass <- klass
+let set_integrity_raw meta integrity = meta.integrity <- integrity
+
+let pp ppf meta =
+  Format.fprintf ppf "owner=%a class=%a acl=%a" Principal.pp_individual meta.owner
+    Security_class.pp meta.klass Acl.pp meta.acl

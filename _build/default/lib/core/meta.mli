@@ -1,0 +1,40 @@
+(** Security metadata attached to every protected object.
+
+    Each named object — a file, a directory, a service procedure, an
+    interface, a domain — carries an owner, an access control list and
+    a security class.  The reference monitor consults exactly this
+    record; nothing else about an object matters to protection. *)
+
+type t = private {
+  id : int;  (** unique object identity, assigned at creation; names
+                 can be reused (delete + recreate), identities never
+                 are — flow analysis depends on this *)
+  mutable owner : Principal.individual;
+  mutable acl : Acl.t;
+  mutable klass : Security_class.t;  (** confidentiality class *)
+  mutable integrity : Security_class.t option;
+      (** Biba integrity class, when the deployment labels integrity
+          (a separate lattice from [klass]); [None] means unlabelled
+          and exempt from integrity rules *)
+}
+
+val make :
+  owner:Principal.individual -> ?acl:Acl.t -> ?integrity:Security_class.t ->
+  Security_class.t -> t
+(** [make ~owner klass] builds metadata.  When [acl] is omitted the
+    owner-default ACL is used (owner holds every mode); [integrity]
+    defaults to unlabelled. *)
+
+val copy : t -> t
+(** A metadata record sharing no mutable state with the original; the
+    copy has a fresh identity. *)
+
+val set_owner : t -> Principal.individual -> unit
+val set_acl_raw : t -> Acl.t -> unit
+val set_klass_raw : t -> Security_class.t -> unit
+val set_integrity_raw : t -> Security_class.t option -> unit
+(** Unchecked field updates (the record is private so identities
+    cannot be forged); normal code mutates through the reference
+    monitor's [set_acl]/[set_class]. *)
+
+val pp : Format.formatter -> t -> unit

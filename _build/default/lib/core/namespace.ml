@@ -1,0 +1,138 @@
+type 'a kind =
+  | Dir of (string, 'a node) Hashtbl.t
+  | Leaf of 'a
+
+and 'a node = {
+  node_path : Path.t;
+  node_label : string;  (* node_path rendered once, for audit records *)
+  node_meta : Meta.t;
+  kind : 'a kind;
+}
+
+type 'a t = { root_node : 'a node }
+
+type error =
+  | Not_found of Path.t
+  | Already_exists of Path.t
+  | Not_a_directory of Path.t
+  | Is_a_directory of Path.t
+  | Directory_not_empty of Path.t
+
+let pp_error ppf = function
+  | Not_found path -> Format.fprintf ppf "%a: not found" Path.pp path
+  | Already_exists path -> Format.fprintf ppf "%a: already exists" Path.pp path
+  | Not_a_directory path -> Format.fprintf ppf "%a: not a directory" Path.pp path
+  | Is_a_directory path -> Format.fprintf ppf "%a: is a directory" Path.pp path
+  | Directory_not_empty path -> Format.fprintf ppf "%a: directory not empty" Path.pp path
+
+let create ~root_meta () =
+  {
+    root_node =
+      {
+        node_path = Path.root;
+        node_label = Path.to_string Path.root;
+        node_meta = root_meta;
+        kind = Dir (Hashtbl.create 16);
+      };
+  }
+
+let root tree = tree.root_node
+
+let find tree target =
+  let rec walk node = function
+    | [] -> Ok node
+    | segment :: rest -> (
+      match node.kind with
+      | Leaf _ -> Error (Not_a_directory node.node_path)
+      | Dir table -> (
+        match Hashtbl.find_opt table segment with
+        | None -> Error (Not_found target)
+        | Some child -> walk child rest))
+  in
+  walk tree.root_node (Path.segments target)
+
+let mem tree target =
+  match find tree target with
+  | Ok _ -> true
+  | Error _ -> false
+
+let add_node tree target ~meta kind_of_path =
+  match Path.parent target, Path.basename target with
+  | None, _ | _, None -> Error (Already_exists Path.root)
+  | Some parent_path, Some name -> (
+    match find tree parent_path with
+    | Error e -> Error e
+    | Ok parent -> (
+      match parent.kind with
+      | Leaf _ -> Error (Not_a_directory parent_path)
+      | Dir table ->
+        if Hashtbl.mem table name then Error (Already_exists target)
+        else begin
+          let node =
+            {
+              node_path = target;
+              node_label = Path.to_string target;
+              node_meta = meta;
+              kind = kind_of_path ();
+            }
+          in
+          Hashtbl.add table name node;
+          Ok node
+        end))
+
+let add_dir tree target ~meta =
+  add_node tree target ~meta (fun () -> Dir (Hashtbl.create 8))
+
+let add_leaf tree target ~meta payload = add_node tree target ~meta (fun () -> Leaf payload)
+
+let remove tree target =
+  match Path.parent target, Path.basename target with
+  | None, _ | _, None -> Error (Directory_not_empty Path.root)
+  | Some parent_path, Some name -> (
+    match find tree parent_path with
+    | Error e -> Error e
+    | Ok parent -> (
+      match parent.kind with
+      | Leaf _ -> Error (Not_a_directory parent_path)
+      | Dir table -> (
+        match Hashtbl.find_opt table name with
+        | None -> Error (Not_found target)
+        | Some { kind = Dir children; _ } when Hashtbl.length children > 0 ->
+          Error (Directory_not_empty target)
+        | Some _ ->
+          Hashtbl.remove table name;
+          Ok ())))
+
+let meta node = node.node_meta
+let path node = node.node_path
+let label node = node.node_label
+
+let is_dir node =
+  match node.kind with
+  | Dir _ -> true
+  | Leaf _ -> false
+
+let payload node =
+  match node.kind with
+  | Dir _ -> None
+  | Leaf value -> Some value
+
+let children node =
+  match node.kind with
+  | Leaf _ -> []
+  | Dir table ->
+    Hashtbl.fold (fun name child acc -> (name, child) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let rec iter_node node f =
+  f node;
+  List.iter (fun (_, child) -> iter_node child f) (children node)
+
+let iter tree f = iter_node tree.root_node f
+
+let fold tree ~init ~f =
+  let acc = ref init in
+  iter tree (fun node -> acc := f !acc node);
+  !acc
+
+let size tree = fold tree ~init:0 ~f:(fun n _ -> n + 1)

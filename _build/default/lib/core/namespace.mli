@@ -1,0 +1,63 @@
+(** The universal protected name space (paper, section 2.3).
+
+    One tree names every protected object in the system.  Leaves are
+    the individual procedures/methods of system services; interior
+    nodes are objects, interfaces, packages, domains or directories.
+    Every node — interior or leaf — carries its own {!Meta.t}, so
+    access to {e each level} of the hierarchy is protected.
+
+    This module is the raw, unchecked store; {!Resolver} layers the
+    reference-monitor checks over it.  The leaf payload type is a
+    parameter so the same name space can hold service procedures,
+    files, or test fixtures. *)
+
+type 'a node
+type 'a t
+
+type error =
+  | Not_found of Path.t
+  | Already_exists of Path.t
+  | Not_a_directory of Path.t
+  | Is_a_directory of Path.t
+  | Directory_not_empty of Path.t
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : root_meta:Meta.t -> unit -> 'a t
+val root : 'a t -> 'a node
+
+val add_dir : 'a t -> Path.t -> meta:Meta.t -> ('a node, error) result
+(** Create an interior node; the parent must already exist and be a
+    directory. *)
+
+val add_leaf : 'a t -> Path.t -> meta:Meta.t -> 'a -> ('a node, error) result
+
+val find : 'a t -> Path.t -> ('a node, error) result
+val mem : 'a t -> Path.t -> bool
+
+val remove : 'a t -> Path.t -> (unit, error) result
+(** Remove a leaf or an {e empty} directory; the root cannot be
+    removed. *)
+
+val meta : 'a node -> Meta.t
+val path : 'a node -> Path.t
+
+val label : 'a node -> string
+(** The node's path rendered once at insertion ([Path.to_string]);
+    used as the audit object name on hot paths. *)
+
+val is_dir : 'a node -> bool
+
+val payload : 'a node -> 'a option
+(** [Some] for leaves, [None] for directories. *)
+
+val children : 'a node -> (string * 'a node) list
+(** Sorted by name; [[]] for leaves. *)
+
+val size : 'a t -> int
+(** Total number of nodes, root included. *)
+
+val iter : 'a t -> ('a node -> unit) -> unit
+(** Preorder traversal over every node. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a node -> 'b) -> 'b

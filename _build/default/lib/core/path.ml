@@ -1,0 +1,56 @@
+type t = string list
+
+let root = []
+
+let check_segment segment =
+  if String.length segment = 0 then invalid_arg "Path: empty segment";
+  if String.contains segment '/' then invalid_arg "Path: segment contains '/'"
+
+let of_segments segments =
+  List.iter check_segment segments;
+  segments
+
+let of_string text =
+  String.split_on_char '/' text |> List.filter (fun segment -> String.length segment > 0)
+
+let to_string = function
+  | [] -> "/"
+  | segments -> "/" ^ String.concat "/" segments
+
+let segments path = path
+let is_root path = path = []
+let depth = List.length
+
+let basename path =
+  match List.rev path with
+  | [] -> None
+  | last :: _ -> Some last
+
+let parent path =
+  match List.rev path with
+  | [] -> None
+  | _ :: rev_init -> Some (List.rev rev_init)
+
+let child path segment =
+  check_segment segment;
+  path @ [ segment ]
+
+let append a b = a @ b
+
+let rec is_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> String.equal x y && is_prefix a' b'
+
+let prefixes path =
+  let step (current, acc) segment =
+    let next = current @ [ segment ] in
+    next, next :: acc
+  in
+  let _, acc = List.fold_left step ([], [ [] ]) path in
+  List.rev acc
+
+let equal = List.equal String.equal
+let compare = List.compare String.compare
+let pp ppf path = Format.pp_print_string ppf (to_string path)

@@ -1,0 +1,45 @@
+(** Hierarchical names in the universal name space (paper, section
+    2.3).
+
+    A path is a possibly empty sequence of non-empty segments; the
+    empty sequence names the root.  The textual form is
+    ["/seg/seg/..."], with ["/"] for the root. *)
+
+type t
+
+val root : t
+val of_segments : string list -> t
+(** @raise Invalid_argument on an empty segment or one containing
+    ['/']. *)
+
+val of_string : string -> t
+(** Parse ["/a/b/c"]; leading slash optional, repeated slashes
+    collapse.  @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val segments : t -> string list
+val is_root : t -> bool
+val depth : t -> int
+
+val basename : t -> string option
+(** Final segment; [None] for the root. *)
+
+val parent : t -> t option
+(** Enclosing path; [None] for the root. *)
+
+val child : t -> string -> t
+(** Append one segment. @raise Invalid_argument on a bad segment. *)
+
+val append : t -> t -> t
+(** [append a b] concatenates. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix a b] iff [a] is an ancestor of (or equal to) [b]. *)
+
+val prefixes : t -> t list
+(** All ancestors from the root to the path itself, inclusive, in
+    order: [prefixes /a/b = [/; /a; /a/b]]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Reference-monitor policy configuration.
+
+    The paper's model layers discretionary control (section 2.1) and
+    mandatory control (section 2.2); a request must pass {e both}
+    enabled layers.  The knobs here exist so the experiments can
+    ablate each layer and so the strict-overwrite remark of section
+    2.2 can be exercised. *)
+
+type t = {
+  dac : bool;  (** evaluate access control lists *)
+  mac : bool;  (** evaluate the security-class lattice rules *)
+  integrity : bool;
+      (** evaluate Biba integrity rules on objects and subjects that
+          carry integrity labels (unlabelled ones are always exempt) *)
+  overwrite : Mac.overwrite_rule;
+      (** how plain [Write]/[Delete] interact with unequal classes *)
+  recheck_calls : bool;
+      (** when [true] the kernel re-validates [Execute] on every
+          service invocation instead of only at link time (SPIN checks
+          only at link time; rechecking gives immediate revocation) *)
+}
+
+val default : t
+(** DAC, MAC and integrity on, strict overwrite, link-time-only call
+    checks. *)
+
+val no_integrity : t
+(** {!default} with the Biba layer off. *)
+
+val dac_only : t
+val mac_only : t
+val unchecked : t
+(** Both layers off — the "no protection" baseline for benchmarks. *)
+
+val with_recheck : t -> t
+val pp : Format.formatter -> t -> unit

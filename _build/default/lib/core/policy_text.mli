@@ -1,0 +1,131 @@
+(** A textual policy language for the model — declarations of the
+    lattice, principals, clearances and per-object protection, so a
+    deployment's entire security configuration can live in one
+    reviewable file ("psychological acceptability", paper section 3).
+
+    Grammar (line oriented; [#] starts a comment; braces must be
+    space-separated):
+
+    {v
+    levels local > organization > others
+    categories myself department-1 department-2 outside
+
+    individual alice
+    group staff = alice bob group:contractors
+
+    clearance alice = local { myself department-1 } trusted
+    clearance bob   = organization { department-2 }
+
+    quota bob calls=1000 threads=4 extensions=1
+
+    object /fs/report {
+      owner alice
+      class organization { department-1 }
+      integrity local { }
+      allow user:alice read write administrate
+      allow group:staff read
+      deny  user:bob read
+      allow everyone list
+    }
+    v}
+
+    [parse] and [to_string] round-trip ([parse] of [to_string] yields
+    an equal spec — a qcheck property); [build] turns a spec into live
+    principal database, lattice, clearance registry and object
+    metadata.  Integrity classes share the confidentiality lattice's
+    hierarchy and universe in this format (a deployment wanting fully
+    separate integrity lattices builds them programmatically). *)
+
+type class_expr = {
+  level : string;
+  cats : string list;
+}
+
+type who_expr =
+  | User of string
+  | Group of string
+  | Everyone
+
+type entry_expr = {
+  allow : bool;
+  who : who_expr;
+  modes : string list;
+}
+
+type object_spec = {
+  path : string;
+  owner : string;
+  klass : class_expr;
+  obj_integrity : class_expr option;
+  entries : entry_expr list;
+}
+
+type quota_spec = {
+  q_principal : string;
+  q_calls : int option;
+  q_threads : int option;
+  q_extensions : int option;
+}
+
+type clearance_spec = {
+  principal : string;
+  clearance : class_expr;
+  cl_integrity : class_expr option;
+  trusted : bool;
+}
+
+type t = {
+  levels : string list;  (** highest first *)
+  categories : string list;
+  individuals : string list;
+  groups : (string * string list) list;
+      (** members are names, or ["group:"]-prefixed nested groups *)
+  clearances : clearance_spec list;
+  quotas : quota_spec list;
+      (** resource budgets, e.g. [quota eve calls=100 threads=4] *)
+  objects : object_spec list;
+}
+
+type error = {
+  line : int;  (** 1-based; [0] for whole-file errors *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (t, error) result
+val to_string : t -> string
+
+(** The live artifacts a spec builds into. *)
+type built = {
+  db : Principal.Db.t;
+  hierarchy : Level.hierarchy;
+  universe : Category.universe;
+  registry : Clearance.t;
+  quotas : (Principal.individual * quota_spec) list;
+      (** validated budgets; the embedder applies them to its kernel's
+          quota table (this library cannot name the kernel) *)
+  metas : (string * Meta.t) list;  (** object path -> metadata *)
+}
+
+val build : t -> (built, error) result
+(** Validates names (levels, categories, modes, principals) and
+    constructs everything.  Principals referenced by clearances,
+    groups or ACL entries must be declared. *)
+
+val export :
+  db:Principal.Db.t ->
+  hierarchy:Level.hierarchy ->
+  universe:Category.universe ->
+  ?registry:Clearance.t ->
+  objects:(string * Meta.t) list ->
+  unit ->
+  t
+(** The inverse of {!build}: reconstruct a spec from live state, so a
+    running deployment's protection configuration can be reviewed or
+    versioned as text ([exsecd shell]'s [export] command).  Secrets
+    are never exported.  [to_string (export ...)] parses back to an
+    equivalent spec; ACL entries granting every mode come back as the
+    full mode list. *)
+
+val equal : t -> t -> bool

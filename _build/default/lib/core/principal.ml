@@ -1,0 +1,105 @@
+type individual = string
+type group = string
+
+let check_name kind name =
+  if String.length name = 0 then
+    invalid_arg (Printf.sprintf "Principal.%s: empty name" kind)
+
+let individual name =
+  check_name "individual" name;
+  name
+
+let group name =
+  check_name "group" name;
+  name
+
+let individual_name name = name
+let group_name name = name
+let equal_individual = String.equal
+let equal_group = String.equal
+let compare_individual = String.compare
+let compare_group = String.compare
+let pp_individual = Format.pp_print_string
+let pp_group = Format.pp_print_string
+
+type member =
+  | Ind of individual
+  | Grp of group
+
+module String_set = Set.Make (String)
+
+module Db = struct
+  type t = {
+    mutable individual_set : String_set.t;
+    members : (group, member list ref) Hashtbl.t;
+  }
+
+  let create () = { individual_set = String_set.empty; members = Hashtbl.create 16 }
+
+  let add_individual db ind =
+    db.individual_set <- String_set.add ind db.individual_set
+
+  let member_slot db grp =
+    match Hashtbl.find_opt db.members grp with
+    | Some slot -> slot
+    | None ->
+      let slot = ref [] in
+      Hashtbl.add db.members grp slot;
+      slot
+
+  let add_group db grp = ignore (member_slot db grp)
+
+  let member_equal a b =
+    match a, b with
+    | Ind i, Ind j -> equal_individual i j
+    | Grp g, Grp h -> equal_group g h
+    | Ind _, Grp _ | Grp _, Ind _ -> false
+
+  (* Does [target] appear, transitively, among the member groups of
+     [grp]?  Used to reject membership cycles. *)
+  let rec reaches db grp target =
+    equal_group grp target
+    || List.exists
+         (function
+           | Ind _ -> false
+           | Grp nested -> reaches db nested target)
+         !(member_slot db grp)
+
+  let add_member db grp member =
+    (match member with
+    | Ind ind -> add_individual db ind
+    | Grp nested ->
+      add_group db nested;
+      if reaches db nested grp then
+        invalid_arg
+          (Printf.sprintf "Principal.Db.add_member: %s <- %s would create a cycle"
+             grp nested));
+    let slot = member_slot db grp in
+    if not (List.exists (member_equal member) !slot) then slot := member :: !slot
+
+  let remove_member db grp member =
+    match Hashtbl.find_opt db.members grp with
+    | None -> ()
+    | Some slot -> slot := List.filter (fun m -> not (member_equal member m)) !slot
+
+  let individuals db = String_set.elements db.individual_set
+
+  let groups db =
+    Hashtbl.fold (fun grp _ acc -> grp :: acc) db.members []
+    |> List.sort_uniq String.compare
+
+  let direct_members db grp =
+    match Hashtbl.find_opt db.members grp with
+    | None -> []
+    | Some slot -> !slot
+
+  let rec is_member db ind grp =
+    List.exists
+      (function
+        | Ind i -> equal_individual i ind
+        | Grp nested -> is_member db ind nested)
+      (direct_members db grp)
+
+  let groups_of db ind =
+    List.filter (fun grp -> is_member db ind grp) (groups db)
+end

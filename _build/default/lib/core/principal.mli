@@ -1,0 +1,72 @@
+(** Principals: the individuals and groups that access control lists
+    name.
+
+    A {e database} records which individuals and groups exist and
+    which members each group has.  Groups may contain groups;
+    membership is transitive.  Cycles among groups are rejected at
+    insertion time so that membership queries always terminate. *)
+
+type individual = private string
+(** The name of an individual principal (a user or a daemon). *)
+
+type group = private string
+(** The name of a group of principals. *)
+
+val individual : string -> individual
+(** [individual name] makes an individual principal.
+    @raise Invalid_argument if [name] is empty. *)
+
+val group : string -> group
+(** [group name] makes a group principal.
+    @raise Invalid_argument if [name] is empty. *)
+
+val individual_name : individual -> string
+val group_name : group -> string
+val equal_individual : individual -> individual -> bool
+val equal_group : group -> group -> bool
+val compare_individual : individual -> individual -> int
+val compare_group : group -> group -> int
+val pp_individual : Format.formatter -> individual -> unit
+val pp_group : Format.formatter -> group -> unit
+
+type member =
+  | Ind of individual
+  | Grp of group  (** nested group *)
+
+(** The principal database. *)
+module Db : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh, empty database. *)
+
+  val add_individual : t -> individual -> unit
+  (** Register an individual.  Idempotent. *)
+
+  val add_group : t -> group -> unit
+  (** Register a group with no members.  Idempotent. *)
+
+  val add_member : t -> group -> member -> unit
+  (** [add_member db g m] adds [m] to group [g], registering [g] (and
+      an individual member) on the fly.
+      @raise Invalid_argument if adding a group member would create a
+      membership cycle. *)
+
+  val remove_member : t -> group -> member -> unit
+  (** Remove a direct member; no effect if absent. *)
+
+  val individuals : t -> individual list
+  (** All registered individuals, sorted by name. *)
+
+  val groups : t -> group list
+  (** All registered groups, sorted by name. *)
+
+  val direct_members : t -> group -> member list
+  (** Direct members of a group ([[]] for unknown groups). *)
+
+  val is_member : t -> individual -> group -> bool
+  (** Transitive membership test. *)
+
+  val groups_of : t -> individual -> group list
+  (** Every group the individual belongs to, transitively; sorted. *)
+end

@@ -1,0 +1,114 @@
+exception Access_denied of {
+  object_name : string;
+  mode : Access_mode.t;
+  denial : Decision.denial;
+}
+
+type t = {
+  db : Principal.Db.t;
+  mutable policy : Policy.t;
+  audit : Audit.t;
+}
+
+let create ?(policy = Policy.default) ?audit_capacity db =
+  { db; policy; audit = Audit.create ?capacity:audit_capacity () }
+
+let db monitor = monitor.db
+let policy monitor = monitor.policy
+let set_policy monitor policy = monitor.policy <- policy
+let audit monitor = monitor.audit
+
+let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =
+  match Acl.check ~db:monitor.db ~subject:(Subject.principal subject) ~mode meta.acl with
+  | Acl.Granted _ -> Ok ()
+  | Acl.Denied_by who -> Error (Decision.Dac_explicit_deny who)
+  | Acl.No_entry -> Error Decision.Dac_no_entry
+
+let mac_decide monitor ~subject ~(meta : Meta.t) ~mode =
+  (* Trusted subjects (the TCB) are exempt from the [*]-property: they
+     may write down.  Read rules still apply. *)
+  if Subject.is_trusted subject && Access_mode.is_write_like mode then Ok ()
+  else
+    match
+      Mac.check ~rule:monitor.policy.Policy.overwrite
+        ~subject:(Subject.effective_class subject) ~object_:meta.klass mode
+    with
+    | Ok () -> Ok ()
+    | Error denial -> Error (Decision.Mac_denied denial)
+
+(* Biba rules apply only when both sides carry integrity labels; the
+   TCB exemption mirrors the MAC one. *)
+let integrity_decide monitor ~subject ~(meta : Meta.t) ~mode =
+  if not monitor.policy.Policy.integrity then Ok ()
+  else
+    match Subject.integrity subject, meta.integrity with
+    | None, _ | _, None -> Ok ()
+    | Some subject_integrity, Some object_integrity ->
+      if Subject.is_trusted subject && Access_mode.is_write_like mode then Ok ()
+      else (
+        match Integrity.check ~subject:subject_integrity ~object_:object_integrity mode with
+        | Ok () -> Ok ()
+        | Error denial -> Error (Decision.Integrity_denied denial))
+
+let decide monitor ~subject ~meta ~mode =
+  let ( let* ) = Result.bind in
+  let layers =
+    let* () =
+      if monitor.policy.Policy.dac then dac_decide monitor ~subject ~meta ~mode else Ok ()
+    in
+    let* () =
+      if monitor.policy.Policy.mac then mac_decide monitor ~subject ~meta ~mode else Ok ()
+    in
+    integrity_decide monitor ~subject ~meta ~mode
+  in
+  Decision.of_result layers
+
+let check monitor ~subject ~(meta : Meta.t) ~object_name ~mode =
+  let decision = decide monitor ~subject ~meta ~mode in
+  Audit.record monitor.audit ~subject ~object_name ~object_id:meta.Meta.id
+    ~object_class:meta.klass ~mode decision;
+  decision
+
+let check_exn monitor ~subject ~meta ~object_name ~mode =
+  match check monitor ~subject ~meta ~object_name ~mode with
+  | Decision.Granted -> ()
+  | Decision.Denied denial -> raise (Access_denied { object_name; mode; denial })
+
+let set_acl monitor ~subject ~meta ~object_name acl =
+  let decision =
+    check monitor ~subject ~meta ~object_name ~mode:Access_mode.Administrate
+  in
+  (match decision with
+  | Decision.Granted -> Meta.set_acl_raw meta acl
+  | Decision.Denied _ -> ());
+  decision
+
+let set_class monitor ~subject ~meta ~object_name klass =
+  let decision =
+    check monitor ~subject ~meta ~object_name ~mode:Access_mode.Administrate
+  in
+  (match decision with
+  | Decision.Granted -> Meta.set_klass_raw meta klass
+  | Decision.Denied _ -> ());
+  decision
+
+let check_attach monitor ~subject ~parent ~child ~object_name =
+  let dac_result =
+    if monitor.policy.Policy.dac then
+      dac_decide monitor ~subject ~meta:parent ~mode:Access_mode.Write
+    else Ok ()
+  in
+  let decision =
+    match dac_result with
+    | Error denial -> Decision.Denied denial
+    | Ok () ->
+      if
+        (not monitor.policy.Policy.mac)
+        || Subject.is_trusted subject
+        || Security_class.dominates child.Meta.klass (Subject.effective_class subject)
+      then Decision.Granted
+      else Decision.Denied (Decision.Mac_denied Mac.Write_down)
+  in
+  Audit.record monitor.audit ~subject ~object_name ~object_id:child.Meta.id
+    ~object_class:child.Meta.klass ~mode:Access_mode.Write decision;
+  decision

@@ -1,0 +1,84 @@
+(** The central reference monitor.
+
+    One facility decides every access in the system (economy of
+    mechanism; paper sections 1.2 and 3): the name space, the kernel's
+    call/extend paths and all simulated services route their checks
+    through {!check}.  A request is granted only if every enabled
+    policy layer — discretionary ACLs and the mandatory lattice —
+    grants it, and every decision is recorded in the audit log. *)
+
+exception Access_denied of {
+  object_name : string;
+  mode : Access_mode.t;
+  denial : Decision.denial;
+}
+
+type t
+
+val create : ?policy:Policy.t -> ?audit_capacity:int -> Principal.Db.t -> t
+(** A monitor over the given principal database.  [policy] defaults to
+    {!Policy.default}. *)
+
+val db : t -> Principal.Db.t
+val policy : t -> Policy.t
+val set_policy : t -> Policy.t -> unit
+val audit : t -> Audit.t
+
+val decide :
+  t -> subject:Subject.t -> meta:Meta.t -> mode:Access_mode.t -> Decision.t
+(** Pure decision: DAC then MAC, no audit record.  The subject's
+    {e effective} class (clearance capped by any static extension
+    class) is used for the MAC rules. *)
+
+val check :
+  t ->
+  subject:Subject.t ->
+  meta:Meta.t ->
+  object_name:string ->
+  mode:Access_mode.t ->
+  Decision.t
+(** {!decide}, recorded in the audit log under [object_name]. *)
+
+val check_exn :
+  t ->
+  subject:Subject.t ->
+  meta:Meta.t ->
+  object_name:string ->
+  mode:Access_mode.t ->
+  unit
+(** @raise Access_denied when {!check} denies. *)
+
+val set_acl :
+  t ->
+  subject:Subject.t ->
+  meta:Meta.t ->
+  object_name:string ->
+  Acl.t ->
+  Decision.t
+(** Replace an object's ACL; requires [Administrate] on the object.
+    Applies the new ACL only when granted. *)
+
+val set_class :
+  t ->
+  subject:Subject.t ->
+  meta:Meta.t ->
+  object_name:string ->
+  Security_class.t ->
+  Decision.t
+(** Relabel an object; requires [Administrate] and, under MAC, is
+    treated as a write to the object. *)
+
+val check_attach :
+  t ->
+  subject:Subject.t ->
+  parent:Meta.t ->
+  child:Meta.t ->
+  object_name:string ->
+  Decision.t
+(** The container rule for creating or removing a directory entry:
+    discretionary [Write] on the {e parent} container, and — because
+    containers are multi-level (Multics-style "upgraded directories")
+    — the mandatory check applies to the {e child}: its class must
+    dominate the subject's, so a subject creates or unlinks entries
+    only at or above its own class.  (The target of a removal is
+    additionally subject to a normal [Delete] check.) *)

@@ -1,0 +1,147 @@
+type 'a t = {
+  monitor : Reference_monitor.t;
+  namespace : 'a Namespace.t;
+}
+
+let create monitor namespace = { monitor; namespace }
+let monitor r = r.monitor
+let namespace r = r.namespace
+
+type denial =
+  | Denied of { at : Path.t; mode : Access_mode.t; denial : Decision.denial }
+  | Name_error of Namespace.error
+
+let pp_denial ppf = function
+  | Denied { at; mode; denial } ->
+    Format.fprintf ppf "%a (%a): %a" Path.pp at Access_mode.pp mode Decision.pp_denial
+      denial
+  | Name_error error -> Namespace.pp_error ppf error
+
+let check r ~subject node mode =
+  match
+    Reference_monitor.check r.monitor ~subject ~meta:(Namespace.meta node)
+      ~object_name:(Namespace.label node) ~mode
+  with
+  | Decision.Granted -> Ok ()
+  | Decision.Denied denial ->
+    Error (Denied { at = Namespace.path node; mode; denial })
+
+(* Walk to [target], checking [List] on every *interior* node strictly
+   above the target.  Returns the target node, unchecked. *)
+let walk r ~subject target =
+  let rec step node = function
+    | [] -> Ok node
+    | segment :: rest -> (
+      match check r ~subject node Access_mode.List with
+      | Error e -> Error e
+      | Ok () -> (
+        let found =
+          List.find_opt
+            (fun (name, _) -> String.equal name segment)
+            (Namespace.children node)
+        in
+        match found with
+        | None ->
+          if Namespace.is_dir node then Error (Name_error (Namespace.Not_found target))
+          else Error (Name_error (Namespace.Not_a_directory (Namespace.path node)))
+        | Some (_, child) -> step child rest))
+  in
+  step (Namespace.root r.namespace) (Path.segments target)
+
+let lookup r ~subject target = walk r ~subject target
+
+let resolve r ~subject ~mode target =
+  match walk r ~subject target with
+  | Error e -> Error e
+  | Ok node -> (
+    match check r ~subject node mode with
+    | Error e -> Error e
+    | Ok () -> Ok node)
+
+let list_dir r ~subject target =
+  match resolve r ~subject ~mode:Access_mode.List target with
+  | Error e -> Error e
+  | Ok node ->
+    if Namespace.is_dir node then
+      Ok (List.map fst (Namespace.children node))
+    else Error (Name_error (Namespace.Not_a_directory target))
+
+let parent_of target =
+  match Path.parent target with
+  | Some parent -> Ok parent
+  | None -> Error (Name_error (Namespace.Already_exists Path.root))
+
+let attach_check r ~subject ~parent_node ~child_meta target =
+  match
+    Reference_monitor.check_attach r.monitor ~subject
+      ~parent:(Namespace.meta parent_node) ~child:child_meta
+      ~object_name:(Path.to_string target)
+  with
+  | Decision.Granted -> Ok ()
+  | Decision.Denied denial ->
+    Error (Denied { at = target; mode = Access_mode.Write; denial })
+
+let create_node r ~subject target ~meta insert =
+  match parent_of target with
+  | Error e -> Error e
+  | Ok parent_path -> (
+    match walk r ~subject parent_path with
+    | Error e -> Error e
+    | Ok parent_node -> (
+      match attach_check r ~subject ~parent_node ~child_meta:meta target with
+      | Error e -> Error e
+      | Ok () -> (
+        match insert () with
+        | Ok node -> Ok node
+        | Error error -> Error (Name_error error))))
+
+let create_dir r ~subject target ~meta =
+  create_node r ~subject target ~meta (fun () -> Namespace.add_dir r.namespace target ~meta)
+
+let create_leaf r ~subject target ~meta payload =
+  create_node r ~subject target ~meta (fun () ->
+      Namespace.add_leaf r.namespace target ~meta payload)
+
+let remove r ~subject target =
+  match parent_of target with
+  | Error e -> Error e
+  | Ok parent_path -> (
+    match walk r ~subject parent_path with
+    | Error e -> Error e
+    | Ok parent_node -> (
+      match resolve r ~subject ~mode:Access_mode.Delete target with
+      | Error e -> Error e
+      | Ok victim -> (
+        match
+          attach_check r ~subject ~parent_node ~child_meta:(Namespace.meta victim)
+            target
+        with
+        | Error e -> Error e
+        | Ok () -> (
+          match Namespace.remove r.namespace target with
+          | Ok () -> Ok ()
+          | Error error -> Error (Name_error error)))))
+
+let set_acl r ~subject target acl =
+  match walk r ~subject target with
+  | Error e -> Error e
+  | Ok node -> (
+    match
+      Reference_monitor.set_acl r.monitor ~subject ~meta:(Namespace.meta node)
+        ~object_name:(Path.to_string target) acl
+    with
+    | Decision.Granted -> Ok ()
+    | Decision.Denied denial ->
+      Error (Denied { at = target; mode = Access_mode.Administrate; denial }))
+
+let set_class r ~subject target klass =
+  match walk r ~subject target with
+  | Error e -> Error e
+  | Ok node -> (
+    match
+      Reference_monitor.set_class r.monitor ~subject ~meta:(Namespace.meta node)
+        ~object_name:(Namespace.label node) klass
+    with
+    | Decision.Granted -> Ok ()
+    | Decision.Denied denial ->
+      Error (Denied { at = target; mode = Access_mode.Administrate; denial }))

@@ -1,0 +1,62 @@
+(** Checked name resolution: the central name server that "enforces
+    all protection" (paper, section 2.3).
+
+    Every operation first walks the path, requiring [List] access on
+    each interior node traversed — the file-system analogy of search
+    permission on directories — and then checks the requested mode on
+    the target.  Creation requires [Write] on the parent directory;
+    removal requires [Delete] on the target and [Write] on the parent.
+    Creation requires discretionary [Write] on the parent directory;
+    because containers are multi-level, the mandatory check applies to
+    the {e new node's} class (see
+    {!Reference_monitor.check_attach}).  Removal requires [Delete] on
+    the target plus the same attach rule on the parent.  All checks go
+    through the reference monitor and are audited. *)
+
+type 'a t
+
+val create : Reference_monitor.t -> 'a Namespace.t -> 'a t
+val monitor : 'a t -> Reference_monitor.t
+val namespace : 'a t -> 'a Namespace.t
+
+type denial =
+  | Denied of { at : Path.t; mode : Access_mode.t; denial : Decision.denial }
+      (** a protection check for [mode] failed at [at] *)
+  | Name_error of Namespace.error  (** the name itself is invalid *)
+
+val pp_denial : Format.formatter -> denial -> unit
+
+val resolve :
+  'a t -> subject:Subject.t -> mode:Access_mode.t -> Path.t ->
+  ('a Namespace.node, denial) result
+(** Traverse to the target (checking [List] on the way) and check
+    [mode] on it. *)
+
+val lookup :
+  'a t -> subject:Subject.t -> Path.t -> ('a Namespace.node, denial) result
+(** {!resolve} with no mode check on the target itself — visibility is
+    still gated by [List] on every ancestor. *)
+
+val list_dir :
+  'a t -> subject:Subject.t -> Path.t -> (string list, denial) result
+(** Names of the target directory's children; requires [List] on the
+    target (and on every ancestor). *)
+
+val create_dir :
+  'a t -> subject:Subject.t -> Path.t -> meta:Meta.t ->
+  ('a Namespace.node, denial) result
+
+val create_leaf :
+  'a t -> subject:Subject.t -> Path.t -> meta:Meta.t -> 'a ->
+  ('a Namespace.node, denial) result
+
+val remove :
+  'a t -> subject:Subject.t -> Path.t -> (unit, denial) result
+
+val set_acl :
+  'a t -> subject:Subject.t -> Path.t -> Acl.t -> (unit, denial) result
+(** Replace the target's ACL; requires [Administrate] on the target. *)
+
+val set_class :
+  'a t -> subject:Subject.t -> Path.t -> Security_class.t -> (unit, denial) result
+(** Relabel the target; requires [Administrate] on it. *)

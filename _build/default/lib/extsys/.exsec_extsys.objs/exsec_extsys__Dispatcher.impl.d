@@ -1,0 +1,1 @@
+lib/extsys/dispatcher.ml: Array Exsec_core Hashtbl List Path Security_class Service Stdlib String Value

@@ -1,0 +1,1 @@
+lib/extsys/dispatcher.mli: Exsec_core Path Security_class Service Value

@@ -1,0 +1,1 @@
+lib/extsys/domain.ml: Exsec_core Format List Path

@@ -1,0 +1,1 @@
+lib/extsys/domain.mli: Exsec_core Format Path

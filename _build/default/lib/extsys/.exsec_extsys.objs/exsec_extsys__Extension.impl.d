@@ -1,0 +1,1 @@
+lib/extsys/extension.ml: Domain Exsec_core Format List Path Principal Security_class Service String Value

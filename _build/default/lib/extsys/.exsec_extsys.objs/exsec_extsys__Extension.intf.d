@@ -1,0 +1,1 @@
+lib/extsys/extension.mli: Domain Exsec_core Format Path Principal Security_class Service Value

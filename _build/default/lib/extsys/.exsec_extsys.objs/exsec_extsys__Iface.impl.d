@@ -1,0 +1,1 @@
+lib/extsys/iface.ml: Exsec_core Format List Path Printf String

@@ -1,0 +1,1 @@
+lib/extsys/iface.mli: Exsec_core Format Path

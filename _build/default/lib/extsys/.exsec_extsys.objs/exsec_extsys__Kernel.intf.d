@@ -1,0 +1,1 @@
+lib/extsys/kernel.mli: Category Dispatcher Exsec_core Extension Iface Level Meta Namespace Path Policy Principal Quota Reference_monitor Resolver Sched Security_class Service Subject Thread Value

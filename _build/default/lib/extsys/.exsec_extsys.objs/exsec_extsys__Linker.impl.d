@@ -1,0 +1,1 @@
+lib/extsys/linker.ml: Access_mode Acl Dispatcher Domain Exsec_core Extension Format Kernel List Meta Namespace Path Policy Principal Quota Reference_monitor Resolver Result Service Subject

@@ -1,0 +1,1 @@
+lib/extsys/linker.mli: Exsec_core Extension Format Kernel Path Service Subject Value

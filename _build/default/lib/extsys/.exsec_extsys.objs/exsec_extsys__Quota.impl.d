@@ -1,0 +1,1 @@
+lib/extsys/quota.ml: Exsec_core Format Hashtbl Option Principal

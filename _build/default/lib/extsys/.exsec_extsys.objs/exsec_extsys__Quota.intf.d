@@ -1,0 +1,1 @@
+lib/extsys/quota.mli: Exsec_core Format Principal

@@ -1,0 +1,1 @@
+lib/extsys/sched.ml: List Thread

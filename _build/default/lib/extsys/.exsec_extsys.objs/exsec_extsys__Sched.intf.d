@@ -1,0 +1,1 @@
+lib/extsys/sched.mli: Thread

@@ -1,0 +1,1 @@
+lib/extsys/service.ml: Access_mode Decision Exsec_core Format List Path Subject Value

@@ -1,0 +1,1 @@
+lib/extsys/service.mli: Access_mode Decision Exsec_core Format Path Subject Value

@@ -1,0 +1,1 @@
+lib/extsys/thread.ml: Exsec_core Format Meta Subject

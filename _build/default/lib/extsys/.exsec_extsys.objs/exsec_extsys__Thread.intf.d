@@ -1,0 +1,1 @@
+lib/extsys/thread.mli: Exsec_core Format Meta Subject

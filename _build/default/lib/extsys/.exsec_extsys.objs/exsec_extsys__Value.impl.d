@@ -1,0 +1,1 @@
+lib/extsys/value.ml: Bool Bytes Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/extsys/value.mli: Format

@@ -1,0 +1,99 @@
+open Exsec_core
+
+type handler = {
+  owner : string;
+  klass : Security_class.t;
+  guard : (Value.t list -> bool) option;
+  impl : Service.impl;
+}
+
+type t = { table : (string, handler list ref) Hashtbl.t }
+(* Keyed by the rendered path; values keep registration order. *)
+
+let create () = { table = Hashtbl.create 16 }
+
+let key event = Path.to_string event
+
+let register d ~event handler =
+  let k = key event in
+  match Hashtbl.find_opt d.table k with
+  | Some slot -> slot := !slot @ [ handler ]
+  | None -> Hashtbl.add d.table k (ref [ handler ])
+
+let unregister_owner d owner =
+  Hashtbl.iter
+    (fun _ slot -> slot := List.filter (fun h -> not (String.equal h.owner owner)) !slot)
+    d.table
+
+let handlers d ~event =
+  match Hashtbl.find_opt d.table (key event) with
+  | Some slot -> !slot
+  | None -> []
+
+let events d =
+  Hashtbl.fold
+    (fun k slot acc -> if !slot = [] then acc else Path.of_string k :: acc)
+    d.table []
+  |> List.sort Path.compare
+
+let guard_accepts handler args =
+  match handler.guard with
+  | None -> true
+  | Some guard -> guard args
+
+let eligible d ~event ~caller_class ~args =
+  List.filter
+    (fun h -> Security_class.dominates caller_class h.klass && guard_accepts h args)
+    (handlers d ~event)
+
+let strictly_dominates a b =
+  Security_class.dominates a b && not (Security_class.equal a b)
+
+(* Order by decreasing specificity.  Dominance is a partial order, so
+   sorting with a comparator is unsound (a mergesort can leave a
+   dominated handler ahead of its dominator when incomparable elements
+   keep them from ever being compared — found by the qcheck maximality
+   property).  Instead, rank each handler by the length of the longest
+   chain of strict dominators above it (its dominance layer, memoized,
+   O(n^2) dominance checks) and sort by (layer, registration index):
+   layer 0 holds the maximal handlers, and a dominator always precedes
+   everything it dominates. *)
+let select_all d ~event ~caller_class ~args =
+  let handlers = Array.of_list (eligible d ~event ~caller_class ~args) in
+  let n = Array.length handlers in
+  let layer = Array.make n (-1) in
+  let rec layer_of i =
+    if layer.(i) >= 0 then layer.(i)
+    else begin
+      (* Strict dominance is acyclic, so marking before the scan is
+         only a guard; it is never read back on valid input. *)
+      layer.(i) <- 0;
+      let deepest = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> i && strictly_dominates handlers.(j).klass handlers.(i).klass then
+          deepest := Stdlib.max !deepest (layer_of j + 1)
+      done;
+      layer.(i) <- !deepest;
+      !deepest
+    end
+  in
+  let ranked = List.init n (fun i -> layer_of i, i) in
+  List.sort compare ranked |> List.map (fun (_, i) -> handlers.(i))
+
+(* One forward pass suffices for a single maximal element: the
+   candidate is only replaced by a handler that strictly dominates it,
+   and dominance is transitive, so nothing earlier can dominate the
+   survivor (and nothing later did).  Registration order breaks ties
+   exactly as in select_all. *)
+let select d ~event ~caller_class ~args =
+  List.fold_left
+    (fun candidate h ->
+      match candidate with
+      | None -> Some h
+      | Some best ->
+        if strictly_dominates h.klass best.klass then Some h else candidate)
+    None
+    (eligible d ~event ~caller_class ~args)
+
+let handler_count d =
+  Hashtbl.fold (fun _ slot n -> n + List.length !slot) d.table 0

@@ -1,0 +1,52 @@
+(** The event dispatcher: dynamic binding of extensions to the
+    services they specialize (after Pardyak & Bershad's SPIN
+    dispatcher, extended with the paper's class-indexed selection).
+
+    Every extensible service procedure doubles as an {e event}.
+    Extensions register {e handlers} on an event; a handler carries
+    the static security class of its extension and an optional guard
+    predicate over the arguments.  When the event is raised, the
+    dispatcher considers only handlers whose class the caller's
+    effective class {e dominates} — "the right extension is selected
+    based on the security class of the caller" (paper, section 2.2) —
+    and among those picks the handler with the most specific
+    (greatest) class whose guard accepts the arguments.  Ties fall to
+    registration order. *)
+
+open Exsec_core
+
+type handler = {
+  owner : string;  (** name of the extension that registered it *)
+  klass : Security_class.t;  (** the handler's static class *)
+  guard : (Value.t list -> bool) option;
+  impl : Service.impl;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> event:Path.t -> handler -> unit
+(** Handlers accumulate in registration order. *)
+
+val unregister_owner : t -> string -> unit
+(** Drop every handler a given extension registered (unload). *)
+
+val handlers : t -> event:Path.t -> handler list
+
+val events : t -> Path.t list
+(** Every event with at least one handler, sorted. *)
+
+val select :
+  t -> event:Path.t -> caller_class:Security_class.t -> args:Value.t list ->
+  handler option
+(** The single handler that will run for this caller, per the rules
+    above. *)
+
+val select_all :
+  t -> event:Path.t -> caller_class:Security_class.t -> args:Value.t list ->
+  handler list
+(** Every eligible handler, most specific class first — for broadcast
+    events where all interested extensions observe the event. *)
+
+val handler_count : t -> int

@@ -1,0 +1,26 @@
+open Exsec_core
+
+type t = {
+  domain_name : string;
+  interfaces : Path.t list;
+}
+
+let make domain_name interfaces = { domain_name; interfaces }
+let name d = d.domain_name
+let interfaces d = d.interfaces
+
+let member d p = List.exists (fun mount -> Path.is_prefix mount p) d.interfaces
+
+let union domain_name domains =
+  let interfaces =
+    List.concat_map (fun d -> d.interfaces) domains
+    |> List.sort_uniq Path.compare
+  in
+  { domain_name; interfaces }
+
+let pp ppf d =
+  Format.fprintf ppf "domain %s: %a" d.domain_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Path.pp)
+    d.interfaces

@@ -1,0 +1,29 @@
+(** SPIN-style domains: named collections of interfaces (paper,
+    section 1.2, citing Sirer et al.).
+
+    A domain groups interface mount points so extensions can be
+    linked against a set of services at once and so a flat global
+    name space is avoided.  In the paper's model, domains are interior
+    nodes of the universal name space and therefore carry their own
+    protection; this module only describes domain {e membership} —
+    the name-space nodes carry the ACLs. *)
+
+open Exsec_core
+
+type t = {
+  domain_name : string;
+  interfaces : Path.t list;  (** mount points of the member interfaces *)
+}
+
+val make : string -> Path.t list -> t
+val name : t -> string
+val interfaces : t -> Path.t list
+
+val member : t -> Path.t -> bool
+(** [member d p] iff [p] lies under one of the domain's interface
+    mount points (or is one). *)
+
+val union : string -> t list -> t
+(** Combine several domains under a new name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+open Exsec_core
+
+type provided = {
+  at : string;
+  arity : int;
+  body : Service.impl;
+}
+
+type extends = {
+  event : Path.t;
+  guard : (Value.t list -> bool) option;
+  handler_body : Service.impl;
+}
+
+type t = {
+  ext_name : string;
+  author : Principal.individual;
+  static_class : Security_class.t option;
+  imports : Path.t list;
+  import_domains : Domain.t list;
+  provides : provided list;
+  extends : extends list;
+  init : (Service.ctx -> (unit, Service.error) result) option;
+}
+
+let make ~name ~author ?static_class ?(imports = []) ?(import_domains = [])
+    ?(provides = []) ?(extends = []) ?init () =
+  if String.length name = 0 then invalid_arg "Extension.make: empty name";
+  { ext_name = name; author; static_class; imports; import_domains; provides; extends; init }
+
+let provided at arity body = { at; arity; body }
+let extends ?guard event handler_body = { event; guard; handler_body }
+
+let pp ppf ext =
+  Format.fprintf ppf "extension %s (author %a%t): %d import(s), %d provide(s), %d extend(s)"
+    ext.ext_name Principal.pp_individual ext.author
+    (fun ppf ->
+      match ext.static_class with
+      | None -> ()
+      | Some klass -> Format.fprintf ppf ", pinned at %a" Security_class.pp klass)
+    (List.length ext.imports) (List.length ext.provides) (List.length ext.extends)

@@ -1,0 +1,60 @@
+(** Extension descriptions: the units of code that are dynamically
+    loaded and linked into the base system (paper, section 1.1).
+
+    An extension declares the two ways it will interact with the rest
+    of the system — the service procedures it {e imports} (calls on)
+    and the events it {e extends} (specializes) — plus any new
+    procedures it {e provides}.  The linker checks [Execute] access on
+    every import and [Extend] access on every extended event before
+    the extension becomes part of the system.
+
+    An extension may carry a {e static security class} (paper, section
+    2.2): when its code runs, the thread's effective class is capped
+    by that class, so an untrusted extension cannot exercise the full
+    authority of a trusted caller. *)
+
+open Exsec_core
+
+type provided = {
+  at : string;  (** leaf name under the extension's own directory *)
+  arity : int;
+  body : Service.impl;
+}
+
+type extends = {
+  event : Path.t;  (** the event (extensible procedure) specialized *)
+  guard : (Value.t list -> bool) option;
+  handler_body : Service.impl;
+}
+
+type t = {
+  ext_name : string;  (** unique name; also its directory under /ext *)
+  author : Principal.individual;  (** the principal the code came from *)
+  static_class : Security_class.t option;
+      (** cap on the effective class of threads running this code *)
+  imports : Path.t list;  (** procedures the extension calls *)
+  import_domains : Domain.t list;
+      (** SPIN-style: link against whole domains; the linker expands
+          each domain to the procedures under its interface mount
+          points, each still individually checked for [Execute] *)
+  provides : provided list;
+  extends : extends list;
+  init : (Service.ctx -> (unit, Service.error) result) option;
+      (** run once, after successful linking *)
+}
+
+val make :
+  name:string ->
+  author:Principal.individual ->
+  ?static_class:Security_class.t ->
+  ?imports:Path.t list ->
+  ?import_domains:Domain.t list ->
+  ?provides:provided list ->
+  ?extends:extends list ->
+  ?init:(Service.ctx -> (unit, Service.error) result) ->
+  unit ->
+  t
+
+val provided : string -> int -> Service.impl -> provided
+val extends : ?guard:(Value.t list -> bool) -> Path.t -> Service.impl -> extends
+val pp : Format.formatter -> t -> unit

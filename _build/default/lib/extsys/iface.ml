@@ -1,0 +1,31 @@
+open Exsec_core
+
+type proc_sig = {
+  name : string;
+  arity : int;
+}
+
+type t = {
+  iface_name : string;
+  procs : proc_sig list;
+}
+
+let proc_sig name arity = { name; arity }
+
+let make iface_name procs =
+  let names = List.map (fun p -> p.name) procs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg (Printf.sprintf "Iface.make: duplicate procedure in %s" iface_name);
+  { iface_name; procs }
+
+let find_proc iface name =
+  List.find_opt (fun p -> String.equal p.name name) iface.procs
+
+let paths ~mount iface = List.map (fun p -> Path.child mount p.name) iface.procs
+
+let pp ppf iface =
+  Format.fprintf ppf "%s{%a}" iface.iface_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf p -> Format.fprintf ppf "%s/%d" p.name p.arity))
+    iface.procs

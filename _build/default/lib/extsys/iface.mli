@@ -1,0 +1,32 @@
+(** Interface descriptions.
+
+    An interface names a coherent group of procedures — a Modula-3
+    interface in SPIN, a Java class in Java.  Interfaces occupy
+    interior nodes of the universal name space; their procedures are
+    the leaves below them (paper, section 2.3). *)
+
+open Exsec_core
+
+type proc_sig = {
+  name : string;
+  arity : int;  (** [-1] means variadic *)
+}
+
+type t = {
+  iface_name : string;
+  procs : proc_sig list;
+}
+
+val make : string -> proc_sig list -> t
+(** @raise Invalid_argument on duplicate procedure names. *)
+
+val proc_sig : string -> int -> proc_sig
+
+val find_proc : t -> string -> proc_sig option
+
+val paths : mount:Path.t -> t -> Path.t list
+(** The name-space paths of the interface's procedures when the
+    interface directory itself is mounted at [mount]: one
+    [mount/name] per procedure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,301 @@
+open Exsec_core
+
+type entry = ..
+
+type entry +=
+  | Proc of Service.proc
+  | Event
+  | Thread_ref of Thread.t
+
+type t = {
+  monitor : Reference_monitor.t;
+  resolver : entry Resolver.t;
+  dispatcher : Dispatcher.t;
+  sched : Sched.t;
+  hierarchy : Level.hierarchy;
+  universe : Category.universe;
+  admin : Principal.individual;
+  mutable next_thread_id : int;
+  loaded : (string, Extension.t * Path.t list) Hashtbl.t;
+  quota : Quota.t;
+}
+
+let monitor kernel = kernel.monitor
+let quota kernel = kernel.quota
+let resolver kernel = kernel.resolver
+let namespace kernel = Resolver.namespace kernel.resolver
+let dispatcher kernel = kernel.dispatcher
+let sched kernel = kernel.sched
+let db kernel = Reference_monitor.db kernel.monitor
+let hierarchy kernel = kernel.hierarchy
+let universe kernel = kernel.universe
+
+let subject_for _kernel principal clearance = Subject.make principal clearance
+
+let admin_subject kernel =
+  (* The administrator is a Bell-LaPadula trusted subject: part of the
+     TCB, allowed to publish low-classified services from a high
+     clearance. *)
+  Subject.make ~trusted:true kernel.admin
+    (Security_class.top kernel.hierarchy kernel.universe)
+
+let default_meta kernel ~owner ?klass ?(callable = true) () =
+  let klass =
+    match klass with
+    | Some klass -> klass
+    | None -> Security_class.bottom kernel.hierarchy kernel.universe
+  in
+  let world_modes =
+    if callable then [ Access_mode.List; Access_mode.Execute ] else [ Access_mode.List ]
+  in
+  let acl =
+    Acl.of_entries [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone world_modes ]
+  in
+  Meta.make ~owner ~acl klass
+
+let error_of_denial = function
+  | Resolver.Denied { at; mode; denial } ->
+    Service.Denied { at = Path.to_string at; mode; denial }
+  | Resolver.Name_error error ->
+    Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error)
+
+let boot ?policy ~db ~admin ~hierarchy ~universe () =
+  let monitor = Reference_monitor.create ?policy db in
+  let bottom = Security_class.bottom hierarchy universe in
+  let dir_acl =
+    Acl.of_entries [ Acl.allow_all (Acl.Individual admin); Acl.allow Acl.Everyone [ Access_mode.List ] ]
+  in
+  let root_meta = Meta.make ~owner:admin ~acl:dir_acl bottom in
+  let ns = Namespace.create ~root_meta () in
+  let kernel =
+    {
+      monitor;
+      resolver = Resolver.create monitor ns;
+      dispatcher = Dispatcher.create ();
+      sched = Sched.create ();
+      hierarchy;
+      universe;
+      admin;
+      next_thread_id = 0;
+      loaded = Hashtbl.create 8;
+      quota = Quota.create ();
+    }
+  in
+  let admin_sub = admin_subject kernel in
+  let mkdir name acl =
+    let meta = Meta.make ~owner:admin ~acl bottom in
+    match Resolver.create_dir kernel.resolver ~subject:admin_sub (Path.of_string name) ~meta with
+    | Ok _ -> ()
+    | Error denial ->
+      invalid_arg (Format.asprintf "Kernel.boot: cannot create %s: %a" name Resolver.pp_denial denial)
+  in
+  (* /ext and /threads are world-writable: any principal may load an
+     extension or spawn a thread — what the extension may then touch
+     is decided by the import/extend checks, and control over each
+     thread by its own metadata.  Administrators can tighten these
+     ACLs after boot. *)
+  let open_acl =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual admin);
+        Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Write ];
+      ]
+  in
+  mkdir "/svc" dir_acl;
+  mkdir "/ext" open_acl;
+  mkdir "/threads" open_acl;
+  kernel
+
+(* {1 Publishing} *)
+
+let add_dir kernel ~subject path ~meta =
+  match Resolver.create_dir kernel.resolver ~subject path ~meta with
+  | Ok _ -> Ok ()
+  | Error denial -> Error (error_of_denial denial)
+
+let install_entry kernel ~subject path ~meta entry =
+  match Resolver.create_leaf kernel.resolver ~subject path ~meta entry with
+  | Ok _ -> Ok ()
+  | Error denial -> Error (error_of_denial denial)
+
+let install_proc kernel ~subject path ~meta proc =
+  install_entry kernel ~subject path ~meta (Proc proc)
+
+let install_event kernel ~subject path ~meta = install_entry kernel ~subject path ~meta Event
+
+let install_iface kernel ~subject ~mount ~meta iface impl_of =
+  let ( let* ) = Result.bind in
+  let* () = add_dir kernel ~subject mount ~meta:(meta "") in
+  List.fold_left
+    (fun acc (sig_ : Iface.proc_sig) ->
+      let* () = acc in
+      let proc = Service.proc sig_.Iface.name sig_.Iface.arity (impl_of sig_.Iface.name) in
+      install_proc kernel ~subject (Path.child mount sig_.Iface.name) ~meta:(meta sig_.Iface.name) proc)
+    (Ok ()) iface.Iface.procs
+
+(* {1 Invocation} *)
+
+let rec make_ctx kernel ~subject ~caller =
+  {
+    Service.subject;
+    caller;
+    call = (fun path args -> call kernel ~subject ~caller path args);
+    raise_event = (fun path args -> call kernel ~subject ~caller path args);
+  }
+
+and invoke_proc kernel ~subject ~caller proc args =
+  match Service.check_arity proc args with
+  | Error e -> Error e
+  | Ok () -> (
+    let ctx = make_ctx kernel ~subject ~caller in
+    try proc.Service.impl ctx args with
+    | Value.Type_error message -> Error (Service.Bad_argument message)
+    | Failure message -> Error (Service.Ext_failure message))
+
+and dispatch_event kernel ~subject ~caller:_ path args =
+  let caller_class = Subject.effective_class subject in
+  match Dispatcher.select kernel.dispatcher ~event:path ~caller_class ~args with
+  | None -> Error (Service.No_handler (Path.to_string path))
+  | Some handler ->
+    (* Run the handler with the caller's authority capped by the
+       handler's static class (paper, section 2.2). *)
+    let capped = Subject.with_ceiling subject handler.Dispatcher.klass in
+    let ctx = make_ctx kernel ~subject:capped ~caller:handler.Dispatcher.owner in
+    (try handler.Dispatcher.impl ctx args with
+    | Value.Type_error message -> Error (Service.Bad_argument message)
+    | Failure message -> Error (Service.Ext_failure message))
+
+and call ?(checked = true) kernel ~subject ~caller path args =
+  match Quota.charge_call kernel.quota (Subject.principal subject) with
+  | Error denial ->
+    Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+  | Ok () -> call_uncharged ~checked kernel ~subject ~caller path args
+
+and call_uncharged ~checked kernel ~subject ~caller path args =
+  let resolved =
+    if checked then
+      match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Execute path with
+      | Ok node -> Ok node
+      | Error denial -> Error (error_of_denial denial)
+    else
+      (* Access was decided at link time (SPIN model): go straight to
+         the node, no monitor involvement. *)
+      match Namespace.find (namespace kernel) path with
+      | Ok node -> Ok node
+      | Error error ->
+        Error (Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error))
+  in
+  match resolved with
+  | Error e -> Error e
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some (Proc proc) -> invoke_proc kernel ~subject ~caller proc args
+    | Some Event -> dispatch_event kernel ~subject ~caller path args
+    | Some _ | None -> Error (Service.Unresolved (Path.to_string path ^ ": not callable")))
+
+let run_handler kernel ~subject (handler : Dispatcher.handler) args =
+  let capped = Subject.with_ceiling subject handler.Dispatcher.klass in
+  let ctx = make_ctx kernel ~subject:capped ~caller:handler.Dispatcher.owner in
+  try handler.Dispatcher.impl ctx args with
+  | Value.Type_error message -> Error (Service.Bad_argument message)
+  | Failure message -> Error (Service.Ext_failure message)
+
+let rec broadcast ?(checked = true) kernel ~subject ~caller path args =
+  ignore caller;
+  match Quota.charge_call kernel.quota (Subject.principal subject) with
+  | Error denial ->
+    Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+  | Ok () -> broadcast_uncharged ~checked kernel ~subject path args
+
+and broadcast_uncharged ~checked kernel ~subject path args =
+  let resolved =
+    if checked then
+      match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Execute path with
+      | Ok node -> Ok node
+      | Error denial -> Error (error_of_denial denial)
+    else
+      match Namespace.find (namespace kernel) path with
+      | Ok node -> Ok node
+      | Error error ->
+        Error (Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error))
+  in
+  match resolved with
+  | Error e -> Error e
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some Event ->
+      let caller_class = Subject.effective_class subject in
+      let handlers = Dispatcher.select_all kernel.dispatcher ~event:path ~caller_class ~args in
+      Ok
+        (List.map
+           (fun handler ->
+             handler.Dispatcher.owner, run_handler kernel ~subject handler args)
+           handlers)
+    | Some _ | None -> Error (Service.Unresolved (Path.to_string path ^ ": not an event")))
+
+(* {1 Threads} *)
+
+let thread_path id = Path.of_string (Printf.sprintf "/threads/t%d" id)
+
+let live_threads_of kernel principal =
+  List.length
+    (List.filter
+       (fun thread ->
+         Thread.is_alive thread
+         && Principal.equal_individual (Subject.principal (Thread.subject thread)) principal)
+       (Sched.threads kernel.sched))
+
+let rec spawn kernel ~subject ~name ~body =
+  match
+    Quota.check_threads kernel.quota (Subject.principal subject)
+      ~live:(live_threads_of kernel (Subject.principal subject))
+  with
+  | Error denial ->
+    Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+  | Ok () -> spawn_uncounted kernel ~subject ~name ~body
+
+and spawn_uncounted kernel ~subject ~name ~body =
+  let id = kernel.next_thread_id in
+  kernel.next_thread_id <- id + 1;
+  let principal = Subject.principal subject in
+  let meta =
+    Meta.make ~owner:principal
+      ~acl:(Acl.of_entries [ Acl.allow_all (Acl.Individual principal) ])
+      (Subject.effective_class subject)
+  in
+  let thread = Thread.make ~id ~name ~subject ~meta ~body in
+  match
+    Resolver.create_leaf kernel.resolver ~subject (thread_path id) ~meta
+      (Thread_ref thread)
+  with
+  | Error denial -> Error (error_of_denial denial)
+  | Ok _ ->
+    Sched.add kernel.sched thread;
+    Ok thread
+
+let kill kernel ~subject ~victim =
+  let path = thread_path victim in
+  match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Delete path with
+  | Error denial -> Error (error_of_denial denial)
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some (Thread_ref thread) ->
+      Thread.kill thread;
+      (match Namespace.remove (namespace kernel) path with
+      | Ok () -> ()
+      | Error _ -> ());
+      Ok ()
+    | Some _ | None -> Error (Service.Unresolved (Path.to_string path ^ ": not a thread")))
+
+let run ?max_quanta kernel = Sched.run ?max_quanta kernel.sched
+
+(* {1 Loaded-extension registry} *)
+
+let note_loaded kernel extension ~installed =
+  Hashtbl.replace kernel.loaded extension.Extension.ext_name (extension, installed)
+
+let forget_loaded kernel name = Hashtbl.remove kernel.loaded name
+let find_loaded kernel name = Hashtbl.find_opt kernel.loaded name
+
+let loaded_extensions kernel =
+  Hashtbl.fold (fun name _ acc -> name :: acc) kernel.loaded [] |> List.sort String.compare

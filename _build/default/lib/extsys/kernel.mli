@@ -1,0 +1,149 @@
+(** The base system: one universal name space, one reference monitor,
+    one dispatcher — the "central facility to provide naming and
+    protection services for the entire system" (paper, section 3).
+
+    The kernel owns the tree under which everything is named:
+
+    - [/svc]      system service interfaces and their procedures
+    - [/ext]      extension-provided procedures, one directory each
+    - [/threads]  thread objects (subjects that are also objects)
+
+    Service procedures are leaves; calling one requires [Execute] on
+    the leaf (and [List] along the path).  Extensible procedures are
+    {e events}: leaves whose behaviour is supplied by handlers in the
+    dispatcher, selected by the caller's security class. *)
+
+open Exsec_core
+
+type entry = ..
+(** The payload of name-space leaves.  Extensible so services (file
+    systems, logs) can publish their own object kinds in the same
+    tree. *)
+
+type entry +=
+  | Proc of Service.proc  (** a callable procedure *)
+  | Event  (** an extensible procedure; handlers live in the dispatcher *)
+  | Thread_ref of Thread.t  (** a thread object under [/threads] *)
+
+type t
+
+val boot :
+  ?policy:Policy.t ->
+  db:Principal.Db.t ->
+  admin:Principal.individual ->
+  hierarchy:Level.hierarchy ->
+  universe:Category.universe ->
+  unit ->
+  t
+(** Create a kernel.  [admin] owns the root of the name space and the
+    standard directories; every principal can traverse ([List]) them. *)
+
+val monitor : t -> Reference_monitor.t
+val resolver : t -> entry Resolver.t
+val namespace : t -> entry Namespace.t
+val dispatcher : t -> Dispatcher.t
+val sched : t -> Sched.t
+val db : t -> Principal.Db.t
+val hierarchy : t -> Level.hierarchy
+val universe : t -> Category.universe
+
+val quota : t -> Quota.t
+(** The per-principal resource-budget table (see {!Quota}); empty at
+    boot, i.e. everyone unlimited until the operator opts principals
+    in. [call]/[broadcast] charge the invocation budget, [spawn]
+    enforces the live-thread bound, and the linker the loaded-
+    extension bound — each refusing with [Service.Quota_exceeded]. *)
+
+val admin_subject : t -> Subject.t
+(** The administrator running at the top security class. *)
+
+val subject_for : t -> Principal.individual -> Security_class.t -> Subject.t
+(** Convenience constructor for a subject of this kernel's lattice. *)
+
+val default_meta : t -> owner:Principal.individual -> ?klass:Security_class.t ->
+  ?callable:bool -> unit -> Meta.t
+(** Metadata for a published object: owner holds all modes; everyone
+    may [List] (and [Execute] when [callable], the default). [klass]
+    defaults to the lattice bottom so any subject may observe it. *)
+
+(** {1 Publishing names} *)
+
+val add_dir :
+  t -> subject:Subject.t -> Path.t -> meta:Meta.t ->
+  (unit, Service.error) result
+
+val install_proc :
+  t -> subject:Subject.t -> Path.t -> meta:Meta.t -> Service.proc ->
+  (unit, Service.error) result
+
+val install_event :
+  t -> subject:Subject.t -> Path.t -> meta:Meta.t ->
+  (unit, Service.error) result
+(** Publish an extensible procedure.  Extensions holding [Extend] on
+    it may register handlers; callers holding [Execute] may raise
+    it. *)
+
+val install_entry :
+  t -> subject:Subject.t -> Path.t -> meta:Meta.t -> entry ->
+  (unit, Service.error) result
+(** Publish an arbitrary payload (used by services to name their own
+    objects). *)
+
+val install_iface :
+  t -> subject:Subject.t -> mount:Path.t -> meta:(string -> Meta.t) ->
+  Iface.t -> (string -> Service.impl) -> (unit, Service.error) result
+(** Publish a whole interface: a directory at [mount] (metadata
+    [meta ""]) and one procedure leaf per signature (metadata
+    [meta name], implementation from the given table). *)
+
+(** {1 Invocation} *)
+
+val call :
+  ?checked:bool ->
+  t -> subject:Subject.t -> caller:string -> Path.t -> Value.t list ->
+  (Value.t, Service.error) result
+(** Invoke the procedure or event at the path.  [checked] (default
+    [true]) controls whether the reference monitor validates
+    [Execute]; the linker passes [false] for pre-checked imports when
+    the policy does not demand per-call rechecks.  Events run the
+    handler selected for the caller's effective class, with the
+    subject's class capped by the handler's static class for the
+    duration of the handler. *)
+
+val broadcast :
+  ?checked:bool ->
+  t -> subject:Subject.t -> caller:string -> Path.t -> Value.t list ->
+  ((string * (Value.t, Service.error) result) list, Service.error) result
+(** Raise an event to {e every} eligible handler (most specific class
+    first) instead of just the best one — SPIN-style event broadcast.
+    Returns each handler's owner with its result; an empty list means
+    no handler was eligible.  Each handler runs with the subject
+    capped by its own static class. *)
+
+val make_ctx : t -> subject:Subject.t -> caller:string -> Service.ctx
+
+(** {1 Threads} *)
+
+val spawn :
+  t -> subject:Subject.t -> name:string -> body:(unit -> Thread.status) ->
+  (Thread.t, Service.error) result
+(** Create a thread owned by the subject's principal, at the subject's
+    effective class, and publish it at [/threads/<id>]. *)
+
+val kill :
+  t -> subject:Subject.t -> victim:int -> (unit, Service.error) result
+(** Terminate thread [victim].  Requires [Delete] on the thread's
+    object — which MAC refuses across categories, containing
+    ThreadMurder-style extensions. *)
+
+val run : ?max_quanta:int -> t -> int
+(** Drive the scheduler; returns quanta consumed. *)
+
+(** {1 Loaded-extension registry} (maintained by {!Linker}) *)
+
+val note_loaded : t -> Extension.t -> installed:Path.t list -> unit
+val forget_loaded : t -> string -> unit
+val find_loaded : t -> string -> (Extension.t * Path.t list) option
+val loaded_extensions : t -> string list
+
+val error_of_denial : Resolver.denial -> Service.error

@@ -1,0 +1,265 @@
+open Exsec_core
+
+type link_error =
+  | Import_denied of { import : Path.t; error : Service.error }
+  | Extend_denied of { event : Path.t; error : Service.error }
+  | Provide_failed of { at : Path.t; error : Service.error }
+  | Init_failed of Service.error
+  | Already_loaded of string
+  | Quota_refused of string
+
+let pp_link_error ppf = function
+  | Import_denied { import; error } ->
+    Format.fprintf ppf "import %a: %a" Path.pp import Service.pp_error error
+  | Extend_denied { event; error } ->
+    Format.fprintf ppf "extend %a: %a" Path.pp event Service.pp_error error
+  | Provide_failed { at; error } ->
+    Format.fprintf ppf "provide %a: %a" Path.pp at Service.pp_error error
+  | Init_failed error -> Format.fprintf ppf "init: %a" Service.pp_error error
+  | Already_loaded name -> Format.fprintf ppf "extension %s is already loaded" name
+  | Quota_refused message -> Format.fprintf ppf "quota: %s" message
+
+module Linked = struct
+  type t = {
+    kernel : Kernel.t;
+    extension : Extension.t;
+    import_table : (Path.t * Kernel.entry Namespace.node) list;
+    provided_paths : Path.t list;
+  }
+
+  let extension linked = linked.extension
+  let name linked = linked.extension.Extension.ext_name
+  let imports linked = List.map fst linked.import_table
+  let provided_paths linked = linked.provided_paths
+
+  let subject_for linked subject =
+    match linked.extension.Extension.static_class with
+    | None -> subject
+    | Some klass -> Subject.with_ceiling subject klass
+
+  let call linked ~subject path args =
+    match List.find_opt (fun (p, _) -> Path.equal p path) linked.import_table with
+    | None ->
+      Error (Service.Unresolved (Path.to_string path ^ ": not in the import table"))
+    | Some (_, _node) ->
+      let subject = subject_for linked subject in
+      let checked = (Reference_monitor.policy (Kernel.monitor linked.kernel)).Policy.recheck_calls in
+      Kernel.call ~checked linked.kernel ~subject
+        ~caller:linked.extension.Extension.ext_name path args
+end
+
+let ext_dir name = Path.of_string ("/ext/" ^ name)
+
+(* Resolve one import with [Execute]; the subject is already capped by
+   the extension's static class. *)
+let check_import kernel ~subject import =
+  match Resolver.resolve (Kernel.resolver kernel) ~subject ~mode:Access_mode.Execute import with
+  | Ok node -> Ok (import, node)
+  | Error denial ->
+    Error (Import_denied { import; error = Kernel.error_of_denial denial })
+
+let check_extend kernel ~subject (ext : Extension.extends) =
+  match
+    Resolver.resolve (Kernel.resolver kernel) ~subject ~mode:Access_mode.Extend
+      ext.Extension.event
+  with
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some Kernel.Event -> Ok ()
+    | Some _ | None ->
+      Error
+        (Extend_denied
+           {
+             event = ext.Extension.event;
+             error = Service.Unresolved (Path.to_string ext.Extension.event ^ ": not an event");
+           }))
+  | Error denial ->
+    Error (Extend_denied { event = ext.Extension.event; error = Kernel.error_of_denial denial })
+
+(* Expand SPIN-style domain imports into the concrete procedures
+   currently under each interface mount point.  Listing happens under
+   the (capped) linking authority, so even discovering the domain's
+   contents is access checked. *)
+let expand_domains kernel ~subject domains =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc domain ->
+      let* paths = acc in
+      List.fold_left
+        (fun acc mount ->
+          let* paths = acc in
+          match Resolver.list_dir (Kernel.resolver kernel) ~subject mount with
+          | Error denial ->
+            Error (Import_denied { import = mount; error = Kernel.error_of_denial denial })
+          | Ok names ->
+            let callable =
+              List.filter_map
+                (fun name ->
+                  let path = Path.child mount name in
+                  match Namespace.find (Kernel.namespace kernel) path with
+                  | Ok node when not (Namespace.is_dir node) -> Some path
+                  | Ok _ | Error _ -> None)
+                names
+            in
+            Ok (paths @ callable))
+        (Ok paths) (Domain.interfaces domain))
+    (Ok []) domains
+
+let rec first_error check = function
+  | [] -> Ok ()
+  | item :: rest -> (
+    match check item with
+    | Ok _ -> first_error check rest
+    | Error e -> Error e)
+
+let rollback kernel installed =
+  List.iter
+    (fun path ->
+      match Namespace.remove (Kernel.namespace kernel) path with
+      | Ok () | Error _ -> ())
+    installed
+
+let install_provides kernel ~subject (extension : Extension.t) =
+  let dir = ext_dir extension.Extension.ext_name in
+  let owner = extension.Extension.author in
+  let klass =
+    match extension.Extension.static_class with
+    | Some klass -> klass
+    | None -> Subject.effective_class subject
+  in
+  let dir_meta =
+    Meta.make ~owner
+      ~acl:
+        (Acl.of_entries
+           [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone [ Access_mode.List ] ])
+      klass
+  in
+  let proc_meta () =
+    Meta.make ~owner
+      ~acl:
+        (Acl.of_entries
+           [
+             Acl.allow_all (Acl.Individual owner);
+             Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Execute ];
+           ])
+      klass
+  in
+  match Kernel.add_dir kernel ~subject dir ~meta:dir_meta with
+  | Error error -> Error (Provide_failed { at = dir; error })
+  | Ok () ->
+    let rec install installed = function
+      | [] -> Ok (List.rev installed)
+      | (p : Extension.provided) :: rest -> (
+        let path = Path.child dir p.Extension.at in
+        let proc = Service.proc p.Extension.at p.Extension.arity p.Extension.body in
+        match Kernel.install_proc kernel ~subject path ~meta:(proc_meta ()) proc with
+        | Ok () -> install (path :: installed) rest
+        | Error error ->
+          rollback kernel (dir :: installed);
+          Error (Provide_failed { at = path; error }))
+    in
+    install [ dir ] extension.Extension.provides
+    |> Result.map (fun installed -> dir :: List.filter (fun p -> not (Path.equal p dir)) installed)
+
+let register_handlers kernel ~subject (extension : Extension.t) =
+  let klass =
+    match extension.Extension.static_class with
+    | Some klass -> klass
+    | None -> Subject.effective_class subject
+  in
+  List.iter
+    (fun (ext : Extension.extends) ->
+      Dispatcher.register (Kernel.dispatcher kernel) ~event:ext.Extension.event
+        {
+          Dispatcher.owner = extension.Extension.ext_name;
+          klass;
+          guard = ext.Extension.guard;
+          impl = ext.Extension.handler_body;
+        })
+    extension.Extension.extends
+
+let loaded_by kernel author =
+  List.length
+    (List.filter
+       (fun name ->
+         match Kernel.find_loaded kernel name with
+         | Some (ext, _) -> Principal.equal_individual ext.Extension.author author
+         | None -> false)
+       (Kernel.loaded_extensions kernel))
+
+let link kernel ~subject (extension : Extension.t) =
+  let name = extension.Extension.ext_name in
+  let quota_check =
+    Quota.check_extensions (Kernel.quota kernel) extension.Extension.author
+      ~loaded:(loaded_by kernel extension.Extension.author)
+  in
+  if Kernel.find_loaded kernel name <> None then Error (Already_loaded name)
+  else (
+    match quota_check with
+    | Error denial -> Error (Quota_refused (Format.asprintf "%a" Quota.pp_denial denial))
+    | Ok () ->
+  begin
+    (* All link-time checks run under the extension's capped authority. *)
+    let capped =
+      match extension.Extension.static_class with
+      | None -> subject
+      | Some klass -> Subject.with_ceiling subject klass
+    in
+    let ( let* ) = Result.bind in
+    let* domain_imports =
+      expand_domains kernel ~subject:capped extension.Extension.import_domains
+    in
+    let all_imports =
+      List.sort_uniq Path.compare (extension.Extension.imports @ domain_imports)
+    in
+    let* import_table =
+      List.fold_left
+        (fun acc import ->
+          let* table = acc in
+          let* entry = check_import kernel ~subject:capped import in
+          Ok (entry :: table))
+        (Ok []) all_imports
+      |> Result.map List.rev
+    in
+    let* () = first_error (check_extend kernel ~subject:capped) extension.Extension.extends in
+    (* Publication also happens at the extension's (capped) authority:
+       its directory and procedures carry the extension's class. *)
+    let* installed = install_provides kernel ~subject:capped extension in
+    register_handlers kernel ~subject extension;
+    let linked =
+      { Linked.kernel; extension; import_table; provided_paths = installed }
+    in
+    let finish () =
+      Kernel.note_loaded kernel extension ~installed;
+      Ok linked
+    in
+    match extension.Extension.init with
+    | None -> finish ()
+    | Some init -> (
+      let ctx =
+        Kernel.make_ctx kernel ~subject:(Linked.subject_for linked subject) ~caller:name
+      in
+      match init ctx with
+      | Ok () -> finish ()
+      | Error error ->
+        Dispatcher.unregister_owner (Kernel.dispatcher kernel) name;
+        rollback kernel (List.rev installed);
+        Error (Init_failed error))
+  end)
+
+let unload kernel ~subject name =
+  match Kernel.find_loaded kernel name with
+  | None -> Error (Service.Unresolved (name ^ ": not loaded"))
+  | Some (_extension, installed) ->
+    let rec remove_all = function
+      | [] ->
+        Dispatcher.unregister_owner (Kernel.dispatcher kernel) name;
+        Kernel.forget_loaded kernel name;
+        Ok ()
+      | path :: rest -> (
+        match Resolver.remove (Kernel.resolver kernel) ~subject path with
+        | Ok () -> remove_all rest
+        | Error denial -> Error (Kernel.error_of_denial denial))
+    in
+    (* Leaves first, then the extension directory. *)
+    remove_all (List.rev installed)

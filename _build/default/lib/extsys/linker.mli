@@ -1,0 +1,70 @@
+(** Dynamic linking of extensions into the base system.
+
+    Linking is where the two ways an extension interacts with the
+    system are authorized (paper, sections 1.1 and 2.1):
+
+    - every {e import} is resolved through the protected name space
+      and requires [Execute] on the target procedure;
+    - every {e extends} requires [Extend] on the target event, and on
+      success registers the extension's handler (tagged with the
+      extension's static class) in the dispatcher;
+    - every {e provide} publishes a new procedure under
+      [/ext/<name>/], requiring [Write] on [/ext] via the attach rule.
+
+    Linking is transactional: if any check fails, nothing the link
+    installed remains — partial extensions never become part of the
+    system.
+
+    Once linked, calls through {!Linked.call} are restricted to the
+    import table.  When the kernel policy has [recheck_calls = false]
+    (the SPIN model: access decided once, at link time), the call
+    resolves the name {e without any monitor involvement} — neither
+    traversal [list] checks nor [Execute] are re-validated, so later
+    ACL changes do not bite; with [recheck_calls = true], every call
+    re-validates in full, paying for immediate revocation (bench F5
+    measures the difference). *)
+
+open Exsec_core
+
+type link_error =
+  | Import_denied of { import : Path.t; error : Service.error }
+  | Extend_denied of { event : Path.t; error : Service.error }
+  | Provide_failed of { at : Path.t; error : Service.error }
+  | Init_failed of Service.error
+  | Already_loaded of string
+  | Quota_refused of string
+      (** the author's loaded-extension budget is exhausted *)
+
+val pp_link_error : Format.formatter -> link_error -> unit
+
+module Linked : sig
+  type t
+
+  val extension : t -> Extension.t
+  val name : t -> string
+  val imports : t -> Path.t list
+  val provided_paths : t -> Path.t list
+
+  val subject_for : t -> Subject.t -> Subject.t
+  (** The given thread's subject with this extension's static class
+      applied as a ceiling (identity when the extension is unpinned). *)
+
+  val call :
+    t -> subject:Subject.t -> Path.t -> Value.t list ->
+    (Value.t, Service.error) result
+  (** Call an imported procedure on behalf of [subject].  Only paths
+      in the import table are callable — an extension cannot name
+      what it was not linked against.  The extension's static class
+      caps the subject for the duration of the call. *)
+end
+
+val link :
+  Kernel.t -> subject:Subject.t -> Extension.t -> (Linked.t, link_error) result
+(** Link an extension on the authority of [subject] (the thread
+    performing the load; its rights, capped by the extension's static
+    class, are what the import/extend checks consult). *)
+
+val unload : Kernel.t -> subject:Subject.t -> string -> (unit, Service.error) result
+(** Remove a loaded extension: its handlers leave the dispatcher and
+    its provided procedures leave the name space (each removal is
+    checked against [subject]). *)

@@ -1,0 +1,82 @@
+open Exsec_core
+
+type limits = {
+  max_calls : int option;
+  max_threads : int option;
+  max_extensions : int option;
+}
+
+let unlimited = { max_calls = None; max_threads = None; max_extensions = None }
+let calls n = { unlimited with max_calls = Some n }
+
+type entry = {
+  limits : limits;
+  mutable used_calls : int;
+}
+
+type t = { table : (string, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 8 }
+
+let set quota ind limits =
+  Hashtbl.replace quota.table (Principal.individual_name ind) { limits; used_calls = 0 }
+
+let clear quota ind = Hashtbl.remove quota.table (Principal.individual_name ind)
+
+let find quota ind = Hashtbl.find_opt quota.table (Principal.individual_name ind)
+
+let limits_of quota ind = Option.map (fun e -> e.limits) (find quota ind)
+
+type resource =
+  | Calls
+  | Threads
+  | Extensions
+
+type denial = {
+  principal : Principal.individual;
+  resource : resource;
+  limit : int;
+}
+
+let resource_name = function
+  | Calls -> "call"
+  | Threads -> "thread"
+  | Extensions -> "extension"
+
+let pp_denial ppf { principal; resource; limit } =
+  Format.fprintf ppf "%a exceeded its %s quota (%d)" Principal.pp_individual principal
+    (resource_name resource) limit
+
+let charge_call quota ind =
+  match find quota ind with
+  | None -> Ok ()
+  | Some entry -> (
+    match entry.limits.max_calls with
+    | None -> Ok ()
+    | Some limit ->
+      if entry.used_calls >= limit then
+        Error { principal = ind; resource = Calls; limit }
+      else begin
+        entry.used_calls <- entry.used_calls + 1;
+        Ok ()
+      end)
+
+let calls_used quota ind =
+  match find quota ind with
+  | None -> 0
+  | Some entry -> entry.used_calls
+
+let check_bound quota ind ~current resource pick =
+  match find quota ind with
+  | None -> Ok ()
+  | Some entry -> (
+    match pick entry.limits with
+    | None -> Ok ()
+    | Some limit ->
+      if current >= limit then Error { principal = ind; resource; limit } else Ok ())
+
+let check_threads quota ind ~live =
+  check_bound quota ind ~current:live Threads (fun l -> l.max_threads)
+
+let check_extensions quota ind ~loaded =
+  check_bound quota ind ~current:loaded Extensions (fun l -> l.max_extensions)

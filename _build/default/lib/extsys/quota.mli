@@ -1,0 +1,61 @@
+(** Per-principal resource quotas — a first answer to the paper's open
+    question of "how to counter denial of service attacks" (section 1).
+
+    Access control decides {e whether} a subject may use a service;
+    quotas bound {e how much}.  A quota table maps principals to
+    budgets over three kernel resources:
+
+    - [calls]      service invocations through the kernel,
+    - [threads]    simultaneously live threads,
+    - [extensions] simultaneously loaded extensions.
+
+    Principals without an entry are unlimited (quotas are opt-in, for
+    sandboxing the untrusted); charging is by the {e subject's}
+    principal, so an extension exhausts its caller's budget, never its
+    author's. *)
+
+open Exsec_core
+
+type limits = {
+  max_calls : int option;  (** lifetime invocation budget *)
+  max_threads : int option;  (** concurrent live threads *)
+  max_extensions : int option;  (** concurrently loaded extensions *)
+}
+
+val unlimited : limits
+val calls : int -> limits
+(** [calls n] limits only invocations. *)
+
+type t
+
+val create : unit -> t
+val set : t -> Principal.individual -> limits -> unit
+val clear : t -> Principal.individual -> unit
+val limits_of : t -> Principal.individual -> limits option
+
+type resource =
+  | Calls
+  | Threads
+  | Extensions
+
+type denial = {
+  principal : Principal.individual;
+  resource : resource;
+  limit : int;
+}
+
+val pp_denial : Format.formatter -> denial -> unit
+
+val charge_call : t -> Principal.individual -> (unit, denial) result
+(** Consume one unit of the invocation budget (counted even when the
+    call is later denied by the monitor — attempts are what a flood
+    is made of). *)
+
+val calls_used : t -> Principal.individual -> int
+
+val check_threads : t -> Principal.individual -> live:int -> (unit, denial) result
+(** [live] is the principal's current live-thread count; refuses when
+    a new thread would exceed the limit. *)
+
+val check_extensions :
+  t -> Principal.individual -> loaded:int -> (unit, denial) result

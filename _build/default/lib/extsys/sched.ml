@@ -1,0 +1,29 @@
+type t = {
+  mutable ring : Thread.t list;  (* order added *)
+  mutable cursor : int;
+}
+
+let create () = { ring = []; cursor = 0 }
+let add sched thread = sched.ring <- sched.ring @ [ thread ]
+let threads sched = sched.ring
+let alive sched = List.filter Thread.is_alive sched.ring
+let find sched id = List.find_opt (fun t -> Thread.id t = id) sched.ring
+
+let step sched =
+  let live = alive sched in
+  match live with
+  | [] -> false
+  | _ ->
+    let count = List.length live in
+    let victim = List.nth live (sched.cursor mod count) in
+    sched.cursor <- sched.cursor + 1;
+    Thread.step victim;
+    true
+
+let run ?(max_quanta = 100_000) sched =
+  let rec loop consumed =
+    if consumed >= max_quanta then consumed
+    else if step sched then loop (consumed + 1)
+    else consumed
+  in
+  loop 0

@@ -1,0 +1,26 @@
+(** A round-robin scheduler over simulated threads.
+
+    Deterministic and cooperative: each call to {!step} gives one
+    quantum to the next live thread in the ring; {!run} drives the
+    ring until every thread is done, killed, or a step budget runs
+    out.  Determinism matters — the ThreadMurder reproduction (bench
+    T2) depends on interleaving victims and the murderer in a fixed
+    order. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Thread.t -> unit
+val threads : t -> Thread.t list
+(** In the order added. *)
+
+val alive : t -> Thread.t list
+val find : t -> int -> Thread.t option
+
+val step : t -> bool
+(** Give one quantum to the next live thread; [false] when no thread
+    is live. *)
+
+val run : ?max_quanta:int -> t -> int
+(** Step until all threads finish or [max_quanta] (default 100_000)
+    quanta elapse; returns the quanta consumed. *)

@@ -1,0 +1,55 @@
+open Exsec_core
+
+type status =
+  | Runnable
+  | Finished
+
+type state =
+  | Ready
+  | Done
+  | Killed
+
+type t = {
+  id : int;
+  thread_name : string;
+  subject : Subject.t;
+  meta : Meta.t;
+  body : unit -> status;
+  mutable state : state;
+  mutable quanta : int;
+}
+
+let make ~id ~name ~subject ~meta ~body =
+  { id; thread_name = name; subject; meta; body; state = Ready; quanta = 0 }
+
+let id thread = thread.id
+let name thread = thread.thread_name
+let subject thread = thread.subject
+let meta thread = thread.meta
+let state thread = thread.state
+
+let is_alive thread =
+  match thread.state with
+  | Ready -> true
+  | Done | Killed -> false
+
+let quanta thread = thread.quanta
+
+let step thread =
+  match thread.state with
+  | Done | Killed -> ()
+  | Ready -> (
+    thread.quanta <- thread.quanta + 1;
+    match thread.body () with
+    | Runnable -> ()
+    | Finished -> thread.state <- Done)
+
+let kill thread =
+  match thread.state with
+  | Done | Killed -> ()
+  | Ready -> thread.state <- Killed
+
+let pp ppf thread =
+  Format.fprintf ppf "thread %d (%s, %a, %s)" thread.id thread.thread_name Subject.pp
+    thread.subject
+    (match thread.state with Ready -> "ready" | Done -> "done" | Killed -> "killed")

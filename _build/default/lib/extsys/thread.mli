@@ -1,0 +1,49 @@
+(** Simulated threads of control.
+
+    Threads serve as the {e subjects} of the access-control model
+    (paper, section 2.2): each carries a {!Exsec_core.Subject.t} and
+    functions at the security class of its principal.  Threads are
+    also {e objects}: each is published in the universal name space
+    (under [/threads]) with its own metadata, so operations {e on} a
+    thread — killing it, inspecting it — are themselves access
+    controlled.  That is exactly the control the Java sandbox lacked
+    in the ThreadMurder incident (paper, section 1.2).
+
+    Scheduling is cooperative: the scheduler calls the thread's body
+    once per quantum until it reports [Finished]. *)
+
+open Exsec_core
+
+type status =
+  | Runnable  (** wants more quanta *)
+  | Finished  (** ran to completion *)
+
+type state =
+  | Ready
+  | Done  (** body reported [Finished] *)
+  | Killed  (** forcibly terminated *)
+
+type t
+
+val make :
+  id:int -> name:string -> subject:Subject.t -> meta:Meta.t ->
+  body:(unit -> status) -> t
+
+val id : t -> int
+val name : t -> string
+val subject : t -> Subject.t
+val meta : t -> Meta.t
+val state : t -> state
+val is_alive : t -> bool
+
+val quanta : t -> int
+(** Number of quanta the thread has executed. *)
+
+val step : t -> unit
+(** Run one quantum if the thread is [Ready]; otherwise no effect. *)
+
+val kill : t -> unit
+(** Unchecked forcible termination — callers must clear the kill with
+    the reference monitor first (the kernel's [kill] does). *)
+
+val pp : Format.formatter -> t -> unit

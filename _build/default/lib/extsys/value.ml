@@ -1,0 +1,87 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Blob of bytes
+  | Pair of t * t
+  | List of t list
+
+exception Type_error of string
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+let blob b = Blob b
+let pair a b = Pair (a, b)
+let list items = List items
+
+let constructor_name = function
+  | Unit -> "unit"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Str _ -> "str"
+  | Blob _ -> "blob"
+  | Pair _ -> "pair"
+  | List _ -> "list"
+
+let to_bool = function
+  | Bool b -> Some b
+  | Unit | Int _ | Str _ | Blob _ | Pair _ | List _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Unit | Bool _ | Str _ | Blob _ | Pair _ | List _ -> None
+
+let to_str = function
+  | Str s -> Some s
+  | Unit | Bool _ | Int _ | Blob _ | Pair _ | List _ -> None
+
+let to_blob = function
+  | Blob b -> Some b
+  | Unit | Bool _ | Int _ | Str _ | Pair _ | List _ -> None
+
+let to_pair = function
+  | Pair (a, b) -> Some (a, b)
+  | Unit | Bool _ | Int _ | Str _ | Blob _ | List _ -> None
+
+let to_list = function
+  | List items -> Some items
+  | Unit | Bool _ | Int _ | Str _ | Blob _ | Pair _ -> None
+
+let expect kind convert value =
+  match convert value with
+  | Some result -> result
+  | None ->
+    raise (Type_error (Printf.sprintf "expected %s, got %s" kind (constructor_name value)))
+
+let to_bool_exn value = expect "bool" to_bool value
+let to_int_exn value = expect "int" to_int value
+let to_str_exn value = expect "str" to_str value
+let to_blob_exn value = expect "blob" to_blob value
+let to_pair_exn value = expect "pair" to_pair value
+let to_list_exn value = expect "list" to_list value
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Blob x, Blob y -> Bytes.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | List xs, List ys -> List.equal equal xs ys
+  | (Unit | Bool _ | Int _ | Str _ | Blob _ | Pair _ | List _), _ -> false
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "%S" s
+  | Blob b -> Format.fprintf ppf "<blob:%d>" (Bytes.length b)
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List items ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)
+      items

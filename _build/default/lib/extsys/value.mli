@@ -1,0 +1,43 @@
+(** Dynamically typed values exchanged across service calls.
+
+    Extensions and the base system are separately written code units;
+    calls between them cross the kernel, so arguments and results use
+    a small universal value type, the moral equivalent of the
+    marshalled arguments of a SPIN event or a Java reflective call. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Blob of bytes
+  | Pair of t * t
+  | List of t list
+
+exception Type_error of string
+(** Raised by the [*_exn] accessors on a mismatched constructor. *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val blob : bytes -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val to_bool : t -> bool option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_blob : t -> bytes option
+val to_pair : t -> (t * t) option
+val to_list : t -> t list option
+
+val to_bool_exn : t -> bool
+val to_int_exn : t -> int
+val to_str_exn : t -> string
+val to_blob_exn : t -> bytes
+val to_pair_exn : t -> t * t
+val to_list_exn : t -> t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/services/introspect.ml: Access_mode Acl Audit Exsec_core Exsec_extsys Format Kernel List Meta Namespace Path Reference_monitor Result Sched Security_class Service Stdlib Subject Thread Value

@@ -1,0 +1,1 @@
+lib/services/introspect.mli: Exsec_core Exsec_extsys Kernel Path Service Subject

@@ -1,0 +1,1 @@
+lib/services/mbuf.ml: Buffer Bytes Exsec_core Exsec_extsys Hashtbl Iface Kernel Path Printf Service Stdlib Subject Value

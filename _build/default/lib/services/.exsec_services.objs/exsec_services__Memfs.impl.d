@@ -1,0 +1,1 @@
+lib/services/memfs.ml: Access_mode Acl Exsec_core Exsec_extsys Iface Kernel List Meta Namespace Path Printf Resolver Result Security_class Service Subject Value

@@ -1,0 +1,1 @@
+lib/services/netstack.ml: Access_mode Acl Exsec_core Exsec_extsys Hashtbl Kernel List Meta Namespace Path Resolver Result Security_class Service Subject

@@ -1,0 +1,1 @@
+lib/services/netstack.mli: Acl Exsec_core Exsec_extsys Kernel Path Security_class Service Subject

@@ -1,0 +1,1 @@
+lib/services/syslog.ml: Access_mode Acl Exsec_core Exsec_extsys Kernel List Meta Namespace Path Resolver Result Security_class Service Subject

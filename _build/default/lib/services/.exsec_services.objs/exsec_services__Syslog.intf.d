@@ -1,0 +1,1 @@
+lib/services/syslog.mli: Exsec_core Exsec_extsys Kernel Path Security_class Service Subject

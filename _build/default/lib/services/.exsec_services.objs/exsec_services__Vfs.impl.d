@@ -1,0 +1,1 @@
+lib/services/vfs.ml: Access_mode Acl Exsec_core Exsec_extsys Format Iface Int Kernel List Meta Namespace Path Principal Printf Resolver Result Security_class Service String Subject Value

@@ -1,0 +1,1 @@
+lib/services/vfs.mli: Acl Exsec_core Exsec_extsys Kernel Path Service Subject Value

@@ -1,0 +1,59 @@
+open Exsec_core
+open Exsec_extsys
+
+let mount_point = Path.of_string "/svc/introspect"
+let audit_tail_path = Path.of_string "/svc/introspect/audit_tail"
+
+let extensions_impl kernel _ctx _args =
+  Ok (Value.list (List.map Value.str (Kernel.loaded_extensions kernel)))
+
+let threads_impl kernel _ctx _args =
+  let live = Sched.alive (Kernel.sched kernel) in
+  Ok
+    (Value.list
+       (List.map
+          (fun thread -> Value.pair (Value.int (Thread.id thread)) (Value.str (Thread.name thread)))
+          live))
+
+let audit_totals_impl kernel _ctx _args =
+  let audit = Reference_monitor.audit (Kernel.monitor kernel) in
+  Ok (Value.pair (Value.int (Audit.granted_total audit)) (Value.int (Audit.denied_total audit)))
+
+let audit_tail_impl kernel _ctx args =
+  let count =
+    match args with
+    | [ Value.Int n ] -> n
+    | _ -> 16
+  in
+  let audit = Reference_monitor.audit (Kernel.monitor kernel) in
+  let events = Audit.events audit in
+  let keep = Stdlib.max 0 (List.length events - count) in
+  let tail = List.filteri (fun i _ -> i >= keep) events in
+  Ok (Value.list (List.map (fun e -> Value.str (Format.asprintf "%a" Audit.pp_event e)) tail))
+
+let namespace_size_impl kernel _ctx _args =
+  Ok (Value.int (Namespace.size (Kernel.namespace kernel)))
+
+let install kernel ~subject =
+  let owner = Subject.principal subject in
+  let open_meta () = Kernel.default_meta kernel ~owner () in
+  (* Reading the audit trail exposes everyone's behaviour: top class,
+     owner-only DAC. *)
+  let audit_meta () =
+    Meta.make ~owner
+      ~acl:
+        (Acl.of_entries
+           [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone [ Access_mode.List ] ])
+      (Security_class.top (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  let ( let* ) = Result.bind in
+  let* () = Kernel.add_dir kernel ~subject mount_point ~meta:(open_meta ()) in
+  let install name arity meta impl =
+    Kernel.install_proc kernel ~subject (Path.child mount_point name) ~meta
+      (Service.proc name arity impl)
+  in
+  let* () = install "extensions" 0 (open_meta ()) (extensions_impl kernel) in
+  let* () = install "threads" 0 (open_meta ()) (threads_impl kernel) in
+  let* () = install "audit_totals" 0 (open_meta ()) (audit_totals_impl kernel) in
+  let* () = install "audit_tail" (-1) (audit_meta ()) (audit_tail_impl kernel) in
+  install "namespace_size" 0 (open_meta ()) (namespace_size_impl kernel)

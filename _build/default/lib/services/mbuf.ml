@@ -1,0 +1,146 @@
+open Exsec_core
+open Exsec_extsys
+
+type buffer = {
+  data : Buffer.t;
+  capacity : int;
+}
+
+type t = {
+  buffer_capacity : int;
+  pool_limit : int;
+  buffers : (int, buffer) Hashtbl.t;
+  mutable next_handle : int;
+  mutable allocated_total : int;
+}
+
+type error =
+  | Bad_handle of int
+  | Pool_exhausted
+  | Overflow of { capacity : int; requested : int }
+
+let create ?(buffer_capacity = 2048) ?(pool_limit = 4096) () =
+  {
+    buffer_capacity;
+    pool_limit;
+    buffers = Hashtbl.create 64;
+    next_handle = 1;
+    allocated_total = 0;
+  }
+
+let alloc pool =
+  if Hashtbl.length pool.buffers >= pool.pool_limit then Error Pool_exhausted
+  else begin
+    let handle = pool.next_handle in
+    pool.next_handle <- handle + 1;
+    pool.allocated_total <- pool.allocated_total + 1;
+    Hashtbl.add pool.buffers handle
+      { data = Buffer.create 64; capacity = pool.buffer_capacity };
+    Ok handle
+  end
+
+let lookup pool handle =
+  match Hashtbl.find_opt pool.buffers handle with
+  | Some buffer -> Ok buffer
+  | None -> Error (Bad_handle handle)
+
+let free pool handle =
+  match lookup pool handle with
+  | Error e -> Error e
+  | Ok _ ->
+    Hashtbl.remove pool.buffers handle;
+    Ok ()
+
+let write pool handle payload =
+  match lookup pool handle with
+  | Error e -> Error e
+  | Ok buffer ->
+    let room = buffer.capacity - Buffer.length buffer.data in
+    let take = Stdlib.min room (Bytes.length payload) in
+    if take < Bytes.length payload && room = 0 then
+      Error (Overflow { capacity = buffer.capacity; requested = Bytes.length payload })
+    else begin
+      Buffer.add_subbytes buffer.data payload 0 take;
+      Ok take
+    end
+
+let read pool handle =
+  match lookup pool handle with
+  | Error e -> Error e
+  | Ok buffer -> Ok (Buffer.to_bytes buffer.data)
+
+let reset pool handle =
+  match lookup pool handle with
+  | Error e -> Error e
+  | Ok buffer ->
+    Buffer.clear buffer.data;
+    Ok ()
+
+let live pool = Hashtbl.length pool.buffers
+let allocated_total pool = pool.allocated_total
+
+let mount_point = Path.of_string "/svc/mbuf"
+
+let service_error = function
+  | Bad_handle handle -> Service.Bad_argument (Printf.sprintf "bad mbuf handle %d" handle)
+  | Pool_exhausted -> Service.Ext_failure "mbuf pool exhausted"
+  | Overflow { capacity; requested } ->
+    Service.Ext_failure (Printf.sprintf "mbuf overflow: %d > capacity %d" requested capacity)
+
+let lift result convert =
+  match result with
+  | Ok value -> Ok (convert value)
+  | Error e -> Error (service_error e)
+
+let impl_of pool name =
+  match name with
+  | "alloc" -> fun _ctx _args -> lift (alloc pool) Value.int
+  | "free" ->
+    fun _ctx args -> (
+      match args with
+      | [ handle ] -> lift (free pool (Value.to_int_exn handle)) (fun () -> Value.unit)
+      | _ -> Error (Service.Bad_argument "free: expected one int"))
+  | "write" ->
+    fun _ctx args -> (
+      match args with
+      | [ handle; payload ] ->
+        lift
+          (write pool (Value.to_int_exn handle) (Value.to_blob_exn payload))
+          Value.int
+      | _ -> Error (Service.Bad_argument "write: expected handle and blob"))
+  | "read" ->
+    fun _ctx args -> (
+      match args with
+      | [ handle ] -> lift (read pool (Value.to_int_exn handle)) Value.blob
+      | _ -> Error (Service.Bad_argument "read: expected one int"))
+  | "reset" ->
+    fun _ctx args -> (
+      match args with
+      | [ handle ] -> lift (reset pool (Value.to_int_exn handle)) (fun () -> Value.unit)
+      | _ -> Error (Service.Bad_argument "reset: expected one int"))
+  | "stats" ->
+    fun _ctx _args ->
+      Ok
+        (Value.list
+           [
+             Value.int (allocated_total pool);
+             Value.int (live pool);
+             Value.int pool.buffer_capacity;
+           ])
+  | other -> Service.fail (Printf.sprintf "mbuf: no procedure %s" other)
+
+let iface =
+  Iface.make "mbuf"
+    [
+      Iface.proc_sig "alloc" 0;
+      Iface.proc_sig "free" 1;
+      Iface.proc_sig "write" 2;
+      Iface.proc_sig "read" 1;
+      Iface.proc_sig "reset" 1;
+      Iface.proc_sig "stats" 0;
+    ]
+
+let install pool kernel ~subject =
+  let owner = Subject.principal subject in
+  let meta _name = Kernel.default_meta kernel ~owner () in
+  Kernel.install_iface kernel ~subject ~mount:mount_point ~meta iface (impl_of pool)

@@ -1,0 +1,49 @@
+(** Network-buffer (mbuf) management: the base-system service the
+    paper's example file-system extension builds on (section 1.1:
+    "the extension that implements the new file system uses existing
+    services (such as mbuf management) and builds on them").
+
+    A pool hands out fixed-capacity buffers by integer handle.  The
+    service is published under [/svc/mbuf] with procedures:
+
+    - [alloc : () -> int]                fresh handle
+    - [free : int -> ()]                 return the buffer
+    - [write : int * blob -> int]        append data, returns bytes taken
+    - [read : int -> blob]               current contents
+    - [reset : int -> ()]                empty the buffer
+    - [stats : () -> (allocated, live, capacity)] *)
+
+open Exsec_core
+open Exsec_extsys
+
+type t
+
+val create : ?buffer_capacity:int -> ?pool_limit:int -> unit -> t
+(** [buffer_capacity] (default 2048) bytes per buffer; [pool_limit]
+    (default 4096) simultaneous live buffers. *)
+
+(** {1 Direct API} *)
+
+type error =
+  | Bad_handle of int
+  | Pool_exhausted
+  | Overflow of { capacity : int; requested : int }
+
+val alloc : t -> (int, error) result
+val free : t -> int -> (unit, error) result
+val write : t -> int -> bytes -> (int, error) result
+(** Appends as much as fits; returns the byte count accepted. *)
+
+val read : t -> int -> (bytes, error) result
+val reset : t -> int -> (unit, error) result
+val live : t -> int
+val allocated_total : t -> int
+
+(** {1 Service publication} *)
+
+val install :
+  t -> Kernel.t -> subject:Subject.t -> (unit, Service.error) result
+(** Publish the pool at [/svc/mbuf] (owner: the subject's principal;
+    callable by everyone). *)
+
+val mount_point : Path.t

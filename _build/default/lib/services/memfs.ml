@@ -1,0 +1,171 @@
+open Exsec_core
+open Exsec_extsys
+
+type file = { mutable data : string }
+type Kernel.entry += File of file
+
+type t = {
+  kernel : Kernel.t;
+  mount : Path.t;
+}
+
+let kernel fs = fs.kernel
+let mount_path fs = fs.mount
+let abs fs name = Path.append fs.mount (Path.of_string name)
+
+let mount kernel ~subject ?(at = Path.of_string "/fs") ?(world_writable = true) () =
+  let owner = Subject.principal subject in
+  let world_modes =
+    if world_writable then [ Access_mode.List; Access_mode.Write ] else [ Access_mode.List ]
+  in
+  let acl =
+    Acl.of_entries [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone world_modes ]
+  in
+  let meta =
+    Meta.make ~owner ~acl (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  match Kernel.add_dir kernel ~subject at ~meta with
+  | Ok () -> Ok { kernel; mount = at }
+  | Error e -> Error e
+
+let default_dir_acl owner =
+  Acl.of_entries
+    [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone [ Access_mode.List ] ]
+
+let node_meta fs ~subject ?klass ?acl ~dir () =
+  let owner = Subject.principal subject in
+  let klass =
+    match klass with
+    | Some klass -> klass
+    | None -> Subject.effective_class subject
+  in
+  let acl =
+    match acl with
+    | Some acl -> acl
+    | None -> if dir then default_dir_acl owner else Acl.owner_default owner
+  in
+  ignore fs;
+  Meta.make ~owner ~acl klass
+
+let mkdir fs ~subject ?klass ?acl name =
+  let meta = node_meta fs ~subject ?klass ?acl ~dir:true () in
+  match Resolver.create_dir (Kernel.resolver fs.kernel) ~subject (abs fs name) ~meta with
+  | Ok _ -> Ok ()
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let create fs ~subject ?klass ?acl name contents =
+  let meta = node_meta fs ~subject ?klass ?acl ~dir:false () in
+  match
+    Resolver.create_leaf (Kernel.resolver fs.kernel) ~subject (abs fs name) ~meta
+      (File { data = contents })
+  with
+  | Ok _ -> Ok ()
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let resolve_file fs ~subject ~mode name =
+  match Resolver.resolve (Kernel.resolver fs.kernel) ~subject ~mode (abs fs name) with
+  | Error denial -> Error (Kernel.error_of_denial denial)
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some (File file) -> Ok file
+    | Some _ | None ->
+      Error (Service.Unresolved (Path.to_string (abs fs name) ^ ": not a file")))
+
+let read fs ~subject name =
+  Result.map (fun file -> file.data) (resolve_file fs ~subject ~mode:Access_mode.Read name)
+
+let write fs ~subject name contents =
+  Result.map
+    (fun file -> file.data <- contents)
+    (resolve_file fs ~subject ~mode:Access_mode.Write name)
+
+(* Append accepts either Write_append or full Write: holding the
+   stronger right implies the weaker operation. *)
+let append fs ~subject name contents =
+  let appended =
+    match resolve_file fs ~subject ~mode:Access_mode.Write_append name with
+    | Ok file -> Ok file
+    | Error (Service.Denied _) -> resolve_file fs ~subject ~mode:Access_mode.Write name
+    | Error e -> Error e
+  in
+  Result.map (fun file -> file.data <- file.data ^ contents) appended
+
+let remove fs ~subject name =
+  match Resolver.remove (Kernel.resolver fs.kernel) ~subject (abs fs name) with
+  | Ok () -> Ok ()
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let list fs ~subject name =
+  match Resolver.list_dir (Kernel.resolver fs.kernel) ~subject (abs fs name) with
+  | Ok names -> Ok names
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let set_acl fs ~subject name acl =
+  match Resolver.set_acl (Kernel.resolver fs.kernel) ~subject (abs fs name) acl with
+  | Ok () -> Ok ()
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let exists fs name = Namespace.mem (Kernel.namespace fs.kernel) (abs fs name)
+
+let service_mount = Path.of_string "/svc/fs"
+
+let str_arg label args index =
+  match List.nth_opt args index with
+  | Some (Value.Str s) -> Ok s
+  | Some _ | None ->
+    Error (Service.Bad_argument (Printf.sprintf "%s: argument %d must be a string" label index))
+
+let service_impl fs name =
+  let ( let* ) = Result.bind in
+  match name with
+  | "create" ->
+    fun ctx args ->
+      let* file = str_arg "create" args 0 in
+      let* contents = str_arg "create" args 1 in
+      let* () = create fs ~subject:ctx.Service.subject file contents in
+      Ok Value.unit
+  | "read" ->
+    fun ctx args ->
+      let* file = str_arg "read" args 0 in
+      let* contents = read fs ~subject:ctx.Service.subject file in
+      Ok (Value.str contents)
+  | "write" ->
+    fun ctx args ->
+      let* file = str_arg "write" args 0 in
+      let* contents = str_arg "write" args 1 in
+      let* () = write fs ~subject:ctx.Service.subject file contents in
+      Ok Value.unit
+  | "append" ->
+    fun ctx args ->
+      let* file = str_arg "append" args 0 in
+      let* contents = str_arg "append" args 1 in
+      let* () = append fs ~subject:ctx.Service.subject file contents in
+      Ok Value.unit
+  | "remove" ->
+    fun ctx args ->
+      let* file = str_arg "remove" args 0 in
+      let* () = remove fs ~subject:ctx.Service.subject file in
+      Ok Value.unit
+  | "list" ->
+    fun ctx args ->
+      let* dir = str_arg "list" args 0 in
+      let* names = list fs ~subject:ctx.Service.subject dir in
+      Ok (Value.list (List.map Value.str names))
+  | other -> Service.fail (Printf.sprintf "fs: no procedure %s" other)
+
+let service_iface =
+  Iface.make "fs"
+    [
+      Iface.proc_sig "create" 2;
+      Iface.proc_sig "read" 1;
+      Iface.proc_sig "write" 2;
+      Iface.proc_sig "append" 2;
+      Iface.proc_sig "remove" 1;
+      Iface.proc_sig "list" 1;
+    ]
+
+let install_service fs ~subject =
+  let owner = Subject.principal subject in
+  let meta _ = Kernel.default_meta fs.kernel ~owner () in
+  Kernel.install_iface fs.kernel ~subject ~mount:service_mount ~meta service_iface
+    (service_impl fs)

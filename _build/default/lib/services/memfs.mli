@@ -1,0 +1,78 @@
+(** An in-memory file system living inside the universal name space.
+
+    Files and directories are ordinary name-space nodes (under a
+    mount point, conventionally [/fs]), so "the protection of
+    extensions can be easily integrated with the protection of other
+    system objects, such as files" (paper, section 3): one ACL
+    mechanism, one class lattice, one monitor cover both.
+
+    All operations take the acting {!Exsec_core.Subject.t} and are
+    checked: [Read] to read, [Write] to overwrite, [Write_append] (or
+    [Write]) to append, the attach rule to create, [Delete] plus the
+    attach rule to remove, [List] to enumerate, [Administrate] to
+    replace an ACL. *)
+
+open Exsec_core
+open Exsec_extsys
+
+type file = { mutable data : string }
+
+type Kernel.entry += File of file
+
+type t
+
+val mount :
+  Kernel.t -> subject:Subject.t -> ?at:Path.t -> ?world_writable:bool -> unit ->
+  (t, Service.error) result
+(** Create the mount directory (default [/fs]).  With
+    [world_writable] (default [true]) every principal may create
+    entries directly under the mount point — per-file protection
+    still applies below. *)
+
+val kernel : t -> Kernel.t
+val mount_path : t -> Path.t
+
+val abs : t -> string -> Path.t
+(** [abs fs "a/b"] is the absolute path of a file named relative to
+    the mount point. *)
+
+val mkdir :
+  t -> subject:Subject.t -> ?klass:Security_class.t -> ?acl:Acl.t -> string ->
+  (unit, Service.error) result
+(** Create a directory (path relative to the mount point).  [klass]
+    defaults to the subject's effective class; [acl] to owner-only
+    plus world [List]. *)
+
+val create :
+  t -> subject:Subject.t -> ?klass:Security_class.t -> ?acl:Acl.t -> string ->
+  string -> (unit, Service.error) result
+(** [create fs ~subject name contents] makes a file.  [klass]
+    defaults to the subject's effective class; [acl] to owner-only. *)
+
+val read : t -> subject:Subject.t -> string -> (string, Service.error) result
+val write : t -> subject:Subject.t -> string -> string -> (unit, Service.error) result
+val append : t -> subject:Subject.t -> string -> string -> (unit, Service.error) result
+val remove : t -> subject:Subject.t -> string -> (unit, Service.error) result
+val list : t -> subject:Subject.t -> string -> (string list, Service.error) result
+val set_acl : t -> subject:Subject.t -> string -> Acl.t -> (unit, Service.error) result
+
+val exists : t -> string -> bool
+(** Unchecked existence test (for tests and benches). *)
+
+val install_service : t -> subject:Subject.t -> (unit, Service.error) result
+(** Publish the file system as callable procedures under [/svc/fs],
+    so extensions can {e import} file operations (section 1.1's "uses
+    existing services … and builds on them").  Every procedure
+    operates on behalf of the calling subject — including any
+    extension static-class ceiling — so a pinned extension gains
+    nothing by going through the service:
+
+    - [create : (str name, str contents) -> ()]
+    - [read   : str name -> str]
+    - [write  : (str name, str contents) -> ()]
+    - [append : (str name, str contents) -> ()]
+    - [remove : str name -> ()]
+    - [list   : str name -> list str] *)
+
+val service_mount : Path.t
+(** [/svc/fs]. *)

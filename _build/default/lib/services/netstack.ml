@@ -1,0 +1,131 @@
+open Exsec_core
+open Exsec_extsys
+
+type endpoint_state = { mutable inbox : string list (* newest first *) }
+type Kernel.entry += Endpoint
+
+type t = {
+  kernel : Kernel.t;
+  states : (string, endpoint_state) Hashtbl.t;  (* keyed by rendered path *)
+}
+
+type conn = {
+  conn_host : string;
+  conn_port : int;
+}
+
+let net_root = Path.of_string "/net"
+
+let endpoint_path ~host ~port =
+  Path.of_segments [ "net"; host; string_of_int port ]
+
+let install kernel ~subject =
+  let owner = Subject.principal subject in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual owner);
+        Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Write ];
+      ]
+  in
+  let meta =
+    Meta.make ~owner ~acl
+      (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  match Kernel.add_dir kernel ~subject net_root ~meta with
+  | Ok () -> Ok { kernel; states = Hashtbl.create 16 }
+  | Error e -> Error e
+
+let default_acl owner =
+  Acl.of_entries
+    [
+      Acl.allow_all (Acl.Individual owner);
+      Acl.allow Acl.Everyone
+        [ Access_mode.List; Access_mode.Execute; Access_mode.Write_append ];
+    ]
+
+let host_dir net ~subject host =
+  let path = Path.child net_root host in
+  if Namespace.mem (Kernel.namespace net.kernel) path then Ok ()
+  else begin
+    let owner = Subject.principal subject in
+    let acl =
+      Acl.of_entries
+        [
+          Acl.allow_all (Acl.Individual owner);
+          Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Write ];
+        ]
+    in
+    (* The host directory carries the listener's class: a client that
+       cannot observe the host's level cannot even see its ports. *)
+    let meta = Meta.make ~owner ~acl (Subject.effective_class subject) in
+    Kernel.add_dir net.kernel ~subject path ~meta
+  end
+
+let listen net ~subject ?acl ?klass ~host ~port () =
+  let ( let* ) = Result.bind in
+  let* () = host_dir net ~subject host in
+  let owner = Subject.principal subject in
+  let acl =
+    match acl with
+    | Some acl -> acl
+    | None -> default_acl owner
+  in
+  let klass =
+    match klass with
+    | Some klass -> klass
+    | None -> Subject.effective_class subject
+  in
+  let path = endpoint_path ~host ~port in
+  let* () = Kernel.install_entry net.kernel ~subject path ~meta:(Meta.make ~owner ~acl klass) Endpoint in
+  Hashtbl.replace net.states (Path.to_string path) { inbox = [] };
+  Ok ()
+
+let resolve_endpoint net ~subject ~mode ~host ~port =
+  let path = endpoint_path ~host ~port in
+  match Resolver.resolve (Kernel.resolver net.kernel) ~subject ~mode path with
+  | Error denial -> Error (Kernel.error_of_denial denial)
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some Endpoint -> (
+      match Hashtbl.find_opt net.states (Path.to_string path) with
+      | Some state -> Ok state
+      | None -> Error (Service.Unresolved (Path.to_string path ^ ": endpoint state missing")))
+    | Some _ | None ->
+      Error (Service.Unresolved (Path.to_string path ^ ": not a network endpoint")))
+
+let connect net ~subject ~host ~port =
+  match resolve_endpoint net ~subject ~mode:Access_mode.Execute ~host ~port with
+  | Ok _ -> Ok { conn_host = host; conn_port = port }
+  | Error e -> Error e
+
+let send net ~subject conn payload =
+  match
+    resolve_endpoint net ~subject ~mode:Access_mode.Write_append ~host:conn.conn_host
+      ~port:conn.conn_port
+  with
+  | Error e -> Error e
+  | Ok state ->
+    state.inbox <- payload :: state.inbox;
+    Ok ()
+
+let recv net ~subject ~host ~port =
+  match resolve_endpoint net ~subject ~mode:Access_mode.Read ~host ~port with
+  | Error e -> Error e
+  | Ok state ->
+    let drained = List.rev state.inbox in
+    state.inbox <- [];
+    Ok drained
+
+let close net ~subject ~host ~port =
+  let path = endpoint_path ~host ~port in
+  match Resolver.remove (Kernel.resolver net.kernel) ~subject path with
+  | Ok () ->
+    Hashtbl.remove net.states (Path.to_string path);
+    Ok ()
+  | Error denial -> Error (Kernel.error_of_denial denial)
+
+let pending net ~host ~port =
+  match Hashtbl.find_opt net.states (Path.to_string (endpoint_path ~host ~port)) with
+  | Some state -> List.length state.inbox
+  | None -> 0

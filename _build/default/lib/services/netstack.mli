@@ -1,0 +1,63 @@
+(** A small network service with per-endpoint protection.
+
+    The Java sandbox's network policy was all-or-nothing — remote
+    applets could open sockets only to their origin host, and one of
+    the classic escapes was exactly "socket to third host" (see the
+    attack catalogue in {!Exsec_baselines.Java_sandbox}).  Under the
+    paper's model a network endpoint is just another named object:
+    listening publishes [/net/<host>/<port>] with an ACL and a
+    security class, connecting requires [Execute] on it, sending
+    [Write_append], and draining the inbox [Read].  Fine-grained
+    network policy falls out of the one mechanism.
+
+    The mandatory rules then give sensible network semantics for
+    free: a low client may send {e up} into a higher-classified
+    service (the star property), but cannot connect-and-read from it
+    (no read-up), and a high subject cannot push data down through a
+    low endpoint (no write-down). *)
+
+open Exsec_core
+open Exsec_extsys
+
+type t
+
+type Kernel.entry += Endpoint  (* the namespace payload; state is internal *)
+
+val install : Kernel.t -> subject:Subject.t -> (t, Service.error) result
+(** Create the [/net] tree.  Any principal may then listen (create
+    endpoints); per-endpoint metadata does the protecting. *)
+
+val net_root : Path.t
+
+type conn
+(** A connection handle, bound to the subject that opened it. *)
+
+val endpoint_path : host:string -> port:int -> Path.t
+
+val listen :
+  t -> subject:Subject.t -> ?acl:Acl.t -> ?klass:Security_class.t ->
+  host:string -> port:int -> unit -> (unit, Service.error) result
+(** Publish an endpoint.  Default ACL: owner everything, everyone may
+    [List], [Execute] (connect) and [Write_append] (send); default
+    class: the subject's effective class. *)
+
+val connect :
+  t -> subject:Subject.t -> host:string -> port:int -> (conn, Service.error) result
+(** Checked [Execute] on the endpoint. *)
+
+val send : t -> subject:Subject.t -> conn -> string -> (unit, Service.error) result
+(** Checked [Write_append]; the payload lands in the listener's
+    inbox.  The check is per-send, so revoking the ACL cuts an open
+    connection off. *)
+
+val recv : t -> subject:Subject.t -> host:string -> port:int ->
+  (string list, Service.error) result
+(** Drain the inbox (oldest first); checked [Read]. *)
+
+val close : t -> subject:Subject.t -> host:string -> port:int ->
+  (unit, Service.error) result
+(** Remove the endpoint; checked like any name-space removal
+    ([Delete] plus the container rule). *)
+
+val pending : t -> host:string -> port:int -> int
+(** Unchecked inbox size (for tests). *)

@@ -1,0 +1,70 @@
+open Exsec_core
+open Exsec_extsys
+
+type log_state = { mutable entries : string list (* newest first *) }
+type Kernel.entry += Log_data of log_state
+
+type t = {
+  kernel : Kernel.t;
+  state : log_state;
+}
+
+let mount_point = Path.of_string "/svc/log"
+let data_path = Path.of_string "/svc/log/data"
+
+let install kernel ~subject ?klass () =
+  let owner = Subject.principal subject in
+  let klass =
+    match klass with
+    | Some klass -> klass
+    | None -> Security_class.top (Kernel.hierarchy kernel) (Kernel.universe kernel)
+  in
+  let bottom = Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel) in
+  let dir_meta =
+    Meta.make ~owner
+      ~acl:
+        (Acl.of_entries
+           [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone [ Access_mode.List ] ])
+      bottom
+  in
+  let data_meta =
+    Meta.make ~owner
+      ~acl:
+        (Acl.of_entries
+           [
+             Acl.allow_all (Acl.Individual owner);
+             Acl.allow Acl.Everyone
+               [ Access_mode.List; Access_mode.Read; Access_mode.Write_append ];
+           ])
+      klass
+  in
+  let state = { entries = [] } in
+  let ( let* ) = Result.bind in
+  let* () = Kernel.add_dir kernel ~subject mount_point ~meta:dir_meta in
+  let* () = Kernel.install_entry kernel ~subject data_path ~meta:data_meta (Log_data state) in
+  Ok { kernel; state }
+
+let checked_data log ~subject ~mode =
+  match Resolver.resolve (Kernel.resolver log.kernel) ~subject ~mode data_path with
+  | Error denial -> Error (Kernel.error_of_denial denial)
+  | Ok node -> (
+    match Namespace.payload node with
+    | Some (Log_data state) -> Ok state
+    | Some _ | None -> Error (Service.Unresolved "/svc/log/data: not a log"))
+
+let append log ~subject line =
+  Result.map
+    (fun state -> state.entries <- line :: state.entries)
+    (checked_data log ~subject ~mode:Access_mode.Write_append)
+
+let entries log ~subject =
+  Result.map
+    (fun state -> List.rev state.entries)
+    (checked_data log ~subject ~mode:Access_mode.Read)
+
+let truncate log ~subject =
+  Result.map
+    (fun state -> state.entries <- [])
+    (checked_data log ~subject ~mode:Access_mode.Write)
+
+let size log = List.length log.state.entries

@@ -1,0 +1,36 @@
+(** The system log: a worked example of the [write-append] access
+    mode and the mandatory [*]-property (paper, sections 2.1-2.2).
+
+    The log's {e data object} lives at [/svc/log/data] and is
+    classified high (by default at the top of the lattice), with an
+    ACL granting everyone [Write_append].  Under MAC any subject may
+    therefore {e append} — information flows up — but only subjects
+    whose class dominates the log's may {e read} it, and nobody below
+    it can overwrite or truncate it (no blind overwrite of a
+    higher-trust object). *)
+
+open Exsec_core
+open Exsec_extsys
+
+type t
+
+val install :
+  Kernel.t -> subject:Subject.t -> ?klass:Security_class.t -> unit ->
+  (t, Service.error) result
+(** Publish the log under [/svc/log].  [klass] (default: the lattice
+    top) classifies the log data. *)
+
+val mount_point : Path.t
+val data_path : Path.t
+
+val append : t -> subject:Subject.t -> string -> (unit, Service.error) result
+(** Checked [Write_append] on the data object. *)
+
+val entries : t -> subject:Subject.t -> (string list, Service.error) result
+(** Checked [Read]; oldest first. *)
+
+val truncate : t -> subject:Subject.t -> (unit, Service.error) result
+(** Checked full [Write]: empties the log. *)
+
+val size : t -> int
+(** Unchecked entry count (for tests). *)

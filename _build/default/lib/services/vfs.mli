@@ -1,0 +1,63 @@
+(** The virtual file system switch: the paper's motivating example of
+    extension (section 1.1).
+
+    [/svc/vfs] publishes the {e general} file-system interface users
+    call ([read], [write], [stat]); behind it, per-file-system-type
+    {e backends} supply the implementation.  The backend procedures
+    are {e events}: a new file-system extension gains nothing by
+    merely existing — it must hold [Extend] on the backend events to
+    register its handlers, and callers reach it through the existing
+    interface, exactly the two interaction modes of section 1.1.
+
+    Backend handler convention (guarded on the file-system type, the
+    first argument):
+    - [backend_read  : (str fstype, str subpath) -> str]
+    - [backend_write : (str fstype, str subpath, str data) -> unit]
+    - [backend_stat  : (str fstype, str subpath) -> int]  (size)
+
+    Because handlers carry their extension's static class, a caller
+    only ever reaches a backend whose class its own effective class
+    dominates — the dispatcher's class-indexed selection of section
+    2.2. *)
+
+open Exsec_core
+open Exsec_extsys
+
+type t
+
+val install : Kernel.t -> subject:Subject.t -> (t, Service.error) result
+(** Publish the switch at [/svc/vfs].  The [mount]/[unmount]
+    procedures are restricted to the installing principal; the rest
+    are world-callable.  Anyone holding [Extend] on the backend
+    events may register a backend. *)
+
+val mount_point : Path.t
+val backend_read_event : Path.t
+val backend_write_event : Path.t
+val backend_stat_event : Path.t
+
+val guard_fstype : string -> Value.t list -> bool
+(** Guard matching events whose first argument is the given
+    file-system type — for use in {!Exsec_extsys.Extension.extends}. *)
+
+val mount_fs :
+  t -> subject:Subject.t -> fstype:string -> prefix:string ->
+  (unit, Service.error) result
+(** Route paths under [prefix] to backends of [fstype] (longest
+    prefix wins).  Checked as a call to [/svc/vfs/mount]. *)
+
+val unmount_fs :
+  t -> subject:Subject.t -> prefix:string -> (unit, Service.error) result
+
+val mounts : t -> (string * string) list
+(** Current [(prefix, fstype)] table, longest prefix first. *)
+
+val read : t -> subject:Subject.t -> string -> (string, Service.error) result
+val write : t -> subject:Subject.t -> string -> string -> (unit, Service.error) result
+val stat : t -> subject:Subject.t -> string -> (int, Service.error) result
+(** Checked convenience wrappers over the published procedures. *)
+
+val grant_extend :
+  t -> subject:Subject.t -> Acl.who -> (unit, Service.error) result
+(** Give [who] the [Extend] right on all three backend events (the
+    installer decides who may provide file systems). *)

@@ -1,0 +1,32 @@
+(** An interactive operator shell over a live extensible system.
+
+    One booted kernel with memfs, syslog, netstack and introspection
+    installed, driven by single-line commands — every operation goes
+    through the reference monitor as the logged-in subject, so the
+    shell is a hands-on demonstration of the whole model (and is used
+    by [exsecd shell]).
+
+    The interpreter is a library (not buried in the binary) so the
+    command surface is unit-testable: {!exec} maps one input line to
+    output text, never raising. *)
+
+type t
+
+val create : ?policy:Exsec_core.Policy_text.t -> unit -> (t, string) result
+(** Boot the world.  Without a policy, a demonstration deployment is
+    used: the paper's [local > organization > others] levels and
+    department categories, an [admin] (trusted) and a couple of
+    sample users.  With a policy, its lattice, principals and
+    clearances apply, and its objects are materialized as files under
+    [/fs] (service-path objects are skipped — services come from the
+    boot sequence). *)
+
+val exec : t -> string -> string
+(** Execute one command line; returns the text to print (possibly
+    empty, possibly multi-line).  Unknown commands yield the help
+    text.  Never raises. *)
+
+val help : string
+
+val prompt : t -> string
+(** ["principal@class> "] for the current session. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Access_mode Acl Array Category Exsec_core Level List Meta Namespace Path Principal Printf Prng Security_class

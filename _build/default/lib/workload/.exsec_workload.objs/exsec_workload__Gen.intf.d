@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Access_mode Acl Category Exsec_core Level Namespace Path Principal Prng Security_class

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Access_mode Acl Category Exsec_core Exsec_extsys Exsec_services Kernel Level List Memfs Principal Security_class Subject

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Category Exsec_core Exsec_extsys Exsec_services Kernel Level Memfs Subject

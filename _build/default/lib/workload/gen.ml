@@ -1,0 +1,112 @@
+open Exsec_core
+
+let principal_db rng ~individuals ~groups ~density =
+  let db = Principal.Db.create () in
+  let inds =
+    List.init individuals (fun i -> Principal.individual (Printf.sprintf "user%03d" i))
+  in
+  let grps = List.init groups (fun i -> Principal.group (Printf.sprintf "group%02d" i)) in
+  List.iter (Principal.Db.add_individual db) inds;
+  List.iter (Principal.Db.add_group db) grps;
+  List.iter
+    (fun grp ->
+      List.iter
+        (fun ind ->
+          if Prng.float rng < density then Principal.Db.add_member db grp (Principal.Ind ind))
+        inds)
+    grps;
+  db, inds, grps
+
+let random_modes rng =
+  let all = Array.of_list Access_mode.all in
+  List.init (1 + Prng.int rng 3) (fun _ -> Prng.choose rng all)
+
+let random_who rng ~individuals ~groups =
+  match Prng.int rng 10 with
+  | 0 -> Acl.Everyone
+  | 1 | 2 | 3 when groups <> [] -> Acl.Group (Prng.choose_list rng groups)
+  | _ -> Acl.Individual (Prng.choose_list rng individuals)
+
+let acl rng ~individuals ~groups ~length ~deny_fraction =
+  if individuals = [] then invalid_arg "Gen.acl: need at least one individual";
+  Acl.of_entries
+    (List.init length (fun _ ->
+         let who = random_who rng ~individuals ~groups in
+         let sign = if Prng.float rng < deny_fraction then Acl.Deny else Acl.Allow in
+         Acl.entry who sign (random_modes rng)))
+
+let acl_with_subject_at rng ~subject ~mode ~filler_individuals ~position ~length =
+  if position < 0 || position >= length then
+    invalid_arg "Gen.acl_with_subject_at: position out of range";
+  let fillers =
+    List.filter
+      (fun ind -> not (Principal.equal_individual ind subject))
+      filler_individuals
+  in
+  if fillers = [] then invalid_arg "Gen.acl_with_subject_at: no distinct fillers";
+  Acl.of_entries
+    (List.init length (fun i ->
+         if i = position then Acl.allow (Acl.Individual subject) [ mode ]
+         else Acl.allow (Acl.Individual (Prng.choose_list rng fillers)) (random_modes rng)))
+
+let lattice ~levels ~categories =
+  let hierarchy = Level.hierarchy (List.init levels (Printf.sprintf "L%d")) in
+  let universe = Category.universe (List.init categories (Printf.sprintf "c%d")) in
+  hierarchy, universe
+
+let security_class rng hierarchy universe =
+  let level_names = Array.of_list (Level.names hierarchy) in
+  let level = Level.of_name_exn hierarchy (Prng.choose rng level_names) in
+  let cats =
+    Prng.subset rng ~density:0.5 (Category.universe_names universe)
+    |> Category.of_names universe
+  in
+  Security_class.make level cats
+
+let listable_meta ~owner ~klass =
+  Meta.make ~owner
+    ~acl:
+      (Acl.of_entries
+         [
+           Acl.allow_all (Acl.Individual owner);
+           Acl.allow Acl.Everyone
+             [ Access_mode.List; Access_mode.Read; Access_mode.Execute ];
+         ])
+    klass
+
+let populate_tree ns ~owner ~klass ~depth ~fanout ~leaf =
+  let leaves = ref [] in
+  let rec grow parent level =
+    if level = depth then begin
+      let path = Path.child parent "leaf" in
+      (match Namespace.add_leaf ns path ~meta:(listable_meta ~owner ~klass) (leaf path) with
+      | Ok _ -> leaves := path :: !leaves
+      | Error _ -> ())
+    end
+    else
+      for i = 0 to fanout - 1 do
+        let path = Path.child parent (Printf.sprintf "n%d" i) in
+        match Namespace.add_dir ns path ~meta:(listable_meta ~owner ~klass) with
+        | Ok _ -> grow path (level + 1)
+        | Error _ -> ()
+      done
+  in
+  grow Path.root 0;
+  List.rev !leaves
+
+let chain ns ~owner ~klass ~depth ~leaf =
+  let rec dig parent level =
+    if level = depth then begin
+      let path = Path.child parent "leaf" in
+      (match Namespace.add_leaf ns path ~meta:(listable_meta ~owner ~klass) leaf with
+      | Ok _ | Error _ -> ());
+      path
+    end
+    else begin
+      let path = Path.child parent (Printf.sprintf "d%d" level) in
+      (match Namespace.add_dir ns path ~meta:(listable_meta ~owner ~klass) with
+      | Ok _ | Error _ -> ());
+      dig path (level + 1)
+    end
+  in
+  dig Path.root 0

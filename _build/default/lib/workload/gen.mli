@@ -1,0 +1,65 @@
+(** Random-but-reproducible generators for benchmark workloads and
+    property tests: principal databases, ACLs, security classes and
+    populated name spaces of controlled shape. *)
+
+open Exsec_core
+
+val principal_db :
+  Prng.t -> individuals:int -> groups:int -> density:float ->
+  Principal.Db.t * Principal.individual list * Principal.group list
+(** A database with the given counts; each individual joins each
+    group independently with probability [density]. *)
+
+val acl :
+  Prng.t ->
+  individuals:Principal.individual list ->
+  groups:Principal.group list ->
+  length:int ->
+  deny_fraction:float ->
+  Acl.t
+(** [length] entries over random principals; each entry is negative
+    with probability [deny_fraction] and carries one to three random
+    modes. *)
+
+val acl_with_subject_at :
+  Prng.t ->
+  subject:Principal.individual ->
+  mode:Access_mode.t ->
+  filler_individuals:Principal.individual list ->
+  position:int ->
+  length:int ->
+  Acl.t
+(** An ACL of [length] entries none of which match [subject], except
+    one allow entry for [subject]/[mode] at index [position] — for
+    measuring evaluation cost against hit depth (bench F1).
+    @raise Invalid_argument unless [0 <= position < length]. *)
+
+val security_class :
+  Prng.t -> Level.hierarchy -> Category.universe -> Security_class.t
+(** Uniform level, each category kept with probability 1/2. *)
+
+val lattice : levels:int -> categories:int -> Level.hierarchy * Category.universe
+(** ["L0" > "L1" > ...] and ["c0"; "c1"; ...]. *)
+
+val populate_tree :
+  'a Namespace.t ->
+  owner:Principal.individual ->
+  klass:Security_class.t ->
+  depth:int ->
+  fanout:int ->
+  leaf:(Path.t -> 'a) ->
+  Path.t list
+(** Grow a complete [fanout]-ary tree of directories [depth] levels
+    deep under the root, with one leaf under each deepest directory;
+    world-listable ACLs.  Returns the leaf paths. *)
+
+val chain :
+  'a Namespace.t ->
+  owner:Principal.individual ->
+  klass:Security_class.t ->
+  depth:int ->
+  leaf:'a ->
+  Path.t
+(** A single path of [depth] nested directories ending in one leaf
+    (for resolution-vs-depth measurements, bench F2); returns the
+    leaf path. *)

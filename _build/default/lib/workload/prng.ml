@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea & Flood 2014). *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit immediate int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  raw mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let choose t items =
+  if Array.length items = 0 then invalid_arg "Prng.choose: empty array";
+  items.(int t (Array.length items))
+
+let choose_list t items = choose t (Array.of_list items)
+
+let shuffle t items =
+  for i = Array.length items - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = items.(i) in
+    items.(i) <- items.(j);
+    items.(j) <- tmp
+  done
+
+let subset t ~density items = List.filter (fun _ -> float t < density) items
+let split t = { state = next t }

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and generated workloads must be reproducible run to
+    run, so everything randomized in this repository draws from this
+    seeded generator rather than [Stdlib.Random]. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int64
+(** The next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choose : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val subset : t -> density:float -> 'a list -> 'a list
+(** Keep each element independently with probability [density]. *)
+
+val split : t -> t
+(** A statistically independent generator (for parallel streams). *)

@@ -1,0 +1,109 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+type t = {
+  kernel : Kernel.t;
+  fs : Memfs.t;
+  hierarchy : Level.hierarchy;
+  universe : Category.universe;
+  user : Subject.t;
+  d1_applet : Subject.t;
+  d2_applet : Subject.t;
+  merged_applet : Subject.t;
+  outside_applet : Subject.t;
+}
+
+let levels = [ "local"; "organization"; "others" ]
+let categories = [ "myself"; "department-1"; "department-2"; "outside" ]
+
+let or_fail label = function
+  | Ok value -> value
+  | Error error -> failwith (label ^ ": " ^ Exsec_extsys.Service.error_to_string error)
+
+let wide_open owner =
+  Acl.of_entries
+    [
+      Acl.allow_all (Acl.Individual owner);
+      Acl.allow Acl.Everyone
+        [
+          Access_mode.Read;
+          Access_mode.Write;
+          Access_mode.Write_append;
+          Access_mode.List;
+        ];
+    ]
+
+let build () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let add name =
+    let ind = Principal.individual name in
+    Principal.Db.add_individual db ind;
+    ind
+  in
+  Principal.Db.add_individual db admin;
+  let user_p = add "user" in
+  let d1_p = add "applet-d1" in
+  let d2_p = add "applet-d2" in
+  let merged_p = add "applet-merged" in
+  let outside_p = add "applet-outside" in
+  let hierarchy = Level.hierarchy levels in
+  let universe = Category.universe categories in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let class_ level cats =
+    Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+  in
+  let user = Subject.make user_p (class_ "local" categories) in
+  let d1_applet = Subject.make d1_p (class_ "organization" [ "department-1" ]) in
+  let d2_applet = Subject.make d2_p (class_ "organization" [ "department-2" ]) in
+  let merged_applet =
+    Subject.make merged_p (class_ "organization" [ "department-1"; "department-2" ])
+  in
+  (* The outside applet is statically pinned at the least level of
+     trust (paper, section 2.2), belt and braces over its already-low
+     clearance. *)
+  let outside_class = class_ "others" [ "outside" ] in
+  let outside_applet = Subject.with_ceiling (Subject.make outside_p outside_class) outside_class in
+  let fs = or_fail "mount" (Memfs.mount kernel ~subject:(Kernel.admin_subject kernel) ()) in
+  let create subject name =
+    let owner = Subject.principal subject in
+    or_fail ("create " ^ name)
+      (Memfs.create fs ~subject ~acl:(wide_open owner) name (name ^ " contents"))
+  in
+  create user "user-data";
+  create d1_applet "d1-data";
+  create d2_applet "d2-data";
+  create outside_applet "outside-data";
+  { kernel; fs; hierarchy; universe; user; d1_applet; d2_applet; merged_applet; outside_applet }
+
+let subjects scenario =
+  [
+    "user", scenario.user;
+    "d1", scenario.d1_applet;
+    "d2", scenario.d2_applet;
+    "merged", scenario.merged_applet;
+    "outside", scenario.outside_applet;
+  ]
+
+let files = [ "user-data"; "d1-data"; "d2-data"; "outside-data" ]
+
+(* The matrix the paper's text implies: read iff the subject's class
+   dominates the file's. *)
+let expected_read ~subject_name ~file =
+  match subject_name, file with
+  | "user", _ -> true
+  | "d1", "d1-data" -> true
+  | "d2", "d2-data" -> true
+  | "merged", ("d1-data" | "d2-data") -> true
+  | "outside", "outside-data" -> true
+  | ("d1" | "d2" | "merged" | "outside"), _ -> false
+  | other, _ -> invalid_arg ("Scenario.expected_read: unknown subject " ^ other)
+
+let measured_read scenario ~subject_name ~file =
+  match List.assoc_opt subject_name (subjects scenario) with
+  | None -> invalid_arg ("Scenario.measured_read: unknown subject " ^ subject_name)
+  | Some subject -> (
+    match Memfs.read scenario.fs ~subject file with
+    | Ok _ -> true
+    | Error _ -> false)

@@ -1,0 +1,58 @@
+(** The paper's worked example (section 2 and 2.2), built on the real
+    kernel, memfs and reference monitor.
+
+    "A user could use three linearly ordered labels (say local,
+    organization and others in descending order) … and a set of
+    labels (say myself, department-1, department-2 and outside)
+    representing different categories."
+
+    The cast:
+    - the {e user}'s own applets: class [local / {myself, department-1,
+      department-2, outside}] — access to all files;
+    - an applet from department 1: [organization / {department-1}];
+    - an applet from department 2: [organization / {department-2}];
+    - a "merged" applet holding both department labels:
+      [organization / {department-1, department-2}];
+    - an applet from outside the organization: [others / {outside}],
+      statically pinned to the lowest level so it "can not access
+      local files".
+
+    The files, each created by the matching subject with a
+    wide-open ACL (the separation below comes from MAC alone):
+    - ["user-data"]     at the user's class,
+    - ["d1-data"]       at department 1's class,
+    - ["d2-data"]       at department 2's class,
+    - ["outside-data"]  at the outside class. *)
+
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+type t = {
+  kernel : Kernel.t;
+  fs : Memfs.t;
+  hierarchy : Level.hierarchy;
+  universe : Category.universe;
+  user : Subject.t;
+  d1_applet : Subject.t;
+  d2_applet : Subject.t;
+  merged_applet : Subject.t;
+  outside_applet : Subject.t;
+}
+
+val build : unit -> t
+(** Construct the whole scenario.  Raises [Failure] if any setup step
+    is refused — setup failing is a bug, not a policy outcome. *)
+
+val subjects : t -> (string * Subject.t) list
+(** [("user", …); ("d1", …); ("d2", …); ("merged", …); ("outside", …)]. *)
+
+val files : string list
+(** The four file names, in the order documented above. *)
+
+val expected_read : subject_name:string -> file:string -> bool
+(** The access matrix the paper's text walks through.  Subject names
+    as in {!subjects}. *)
+
+val measured_read : t -> subject_name:string -> file:string -> bool
+(** What the implementation actually decides. *)

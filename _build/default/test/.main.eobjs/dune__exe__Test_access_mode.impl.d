@@ -1,0 +1,1 @@
+test/test_access_mode.ml: Access_mode Alcotest Exsec_core List Set

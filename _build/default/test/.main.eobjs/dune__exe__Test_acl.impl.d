@@ -1,0 +1,1 @@
+test/test_acl.ml: Access_mode Acl Alcotest Exsec_core List Principal QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Afs_acl Alcotest Exsec_baselines Format Java_sandbox List Model Nt_acl Ours Spin_domains String Suite Unix_perms Vino_priv World

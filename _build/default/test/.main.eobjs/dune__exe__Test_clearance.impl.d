@@ -1,0 +1,1 @@
+test/test_clearance.ml: Alcotest Category Clearance Exsec_core Format Level List Principal QCheck QCheck_alcotest Security_class Subject

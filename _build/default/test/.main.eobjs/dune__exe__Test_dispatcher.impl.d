@@ -1,0 +1,1 @@
+test/test_dispatcher.ml: Alcotest Category Dispatcher Exsec_core Exsec_extsys Level List Path Principal Printf QCheck QCheck_alcotest Security_class Service Subject Value

@@ -1,0 +1,1 @@
+test/test_flow.ml: Access_mode Acl Alcotest Array Audit Category Exsec_core Flow Level List Meta Policy Principal Printf QCheck QCheck_alcotest Reference_monitor Security_class String Subject

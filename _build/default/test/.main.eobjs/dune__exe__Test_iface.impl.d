@@ -1,0 +1,1 @@
+test/test_iface.ml: Alcotest Exsec_core Exsec_extsys Format Iface List Path Service Value

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Access_mode Acl Alcotest Category Decision Exsec_core Format Integrity Level List Mac Meta Policy Principal Reference_monitor Security_class Subject

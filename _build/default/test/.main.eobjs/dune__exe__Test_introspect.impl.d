@@ -1,0 +1,1 @@
+test/test_introspect.ml: Alcotest Category Exsec_core Exsec_extsys Exsec_services Extension Format Introspect Kernel Level Linker List Path Principal Security_class Service Subject Thread Value

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Category Exsec_core Level List QCheck QCheck_alcotest Security_class

@@ -1,0 +1,1 @@
+test/test_mac.ml: Access_mode Alcotest Category Exsec_core Level List Mac QCheck QCheck_alcotest Security_class

@@ -1,0 +1,1 @@
+test/test_mbuf.ml: Alcotest Bytes Category Exsec_core Exsec_extsys Exsec_services Kernel Level List Mbuf Path Principal Result Security_class Service Subject Value

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Access_mode Acl Alcotest Audit Category Decision Exsec_core Format Level List Mac Meta Policy Principal Printf Reference_monitor Security_class String Subject

@@ -1,0 +1,1 @@
+test/test_namespace.ml: Access_mode Acl Alcotest Category Exsec_core Format Level List Meta Namespace Path Principal QCheck QCheck_alcotest Security_class

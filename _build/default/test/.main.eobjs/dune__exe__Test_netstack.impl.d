@@ -1,0 +1,1 @@
+test/test_netstack.ml: Access_mode Acl Alcotest Category Decision Exsec_core Exsec_extsys Exsec_services Format Kernel Level List Mac Netstack Principal Resolver Security_class Service Subject

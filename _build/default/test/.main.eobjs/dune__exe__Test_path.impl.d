@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Exsec_core List Path QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_policy_text.ml: Access_mode Alcotest Category Clearance Decision Exsec_core Format List Policy_text Principal Printf QCheck QCheck_alcotest Reference_monitor Security_class String Subject

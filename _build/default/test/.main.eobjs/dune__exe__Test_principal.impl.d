@@ -1,0 +1,1 @@
+test/test_principal.ml: Alcotest Exsec_core List Principal Printf

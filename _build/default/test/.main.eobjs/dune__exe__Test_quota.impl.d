@@ -1,0 +1,1 @@
+test/test_quota.ml: Alcotest Category Dispatcher Exsec_core Exsec_extsys Extension Format Kernel Level Linker List Path Principal Quota Security_class Service Subject Thread Value

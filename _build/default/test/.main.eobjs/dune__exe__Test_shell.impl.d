@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Exsec_core Exsec_shell Format List Shell String

@@ -1,0 +1,1 @@
+test/test_syslog.ml: Acl Alcotest Category Decision Exsec_core Exsec_extsys Exsec_services Format Kernel Level List Mac Principal Resolver Security_class Service Subject Syslog

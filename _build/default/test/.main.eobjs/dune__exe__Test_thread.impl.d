@@ -1,0 +1,1 @@
+test/test_thread.ml: Alcotest Category Exsec_core Exsec_extsys Level List Meta Principal Printf Sched Security_class Subject Thread

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Bytes Exsec_extsys Format Value

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "exsec"
+    [
+      "access-mode", Test_access_mode.suite;
+      "principal", Test_principal.suite;
+      "acl", Test_acl.suite;
+      "lattice", Test_lattice.suite;
+      "mac", Test_mac.suite;
+      "integrity", Test_integrity.suite;
+      "monitor", Test_monitor.suite;
+      "clearance", Test_clearance.suite;
+      "flow", Test_flow.suite;
+      "policy-text", Test_policy_text.suite;
+      "path", Test_path.suite;
+      "namespace", Test_namespace.suite;
+      "resolver", Test_resolver.suite;
+      "value", Test_value.suite;
+      "iface", Test_iface.suite;
+      "dispatcher", Test_dispatcher.suite;
+      "thread", Test_thread.suite;
+      "kernel", Test_kernel.suite;
+      "linker", Test_linker.suite;
+      "quota", Test_quota.suite;
+      "mbuf", Test_mbuf.suite;
+      "memfs", Test_memfs.suite;
+      "vfs", Test_vfs.suite;
+      "syslog", Test_syslog.suite;
+      "netstack", Test_netstack.suite;
+      "introspect", Test_introspect.suite;
+      "baselines", Test_baselines.suite;
+      "workload", Test_workload.suite;
+      "integration", Test_integration.suite;
+      "fuzz", Test_fuzz.suite;
+      "shell", Test_shell.suite;
+    ]

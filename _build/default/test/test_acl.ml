@@ -1,0 +1,204 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let db_with_staff () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let bob = Principal.individual "bob" in
+  let mallory = Principal.individual "mallory" in
+  let staff = Principal.group "staff" in
+  List.iter
+    (fun ind -> Principal.Db.add_member db staff (Principal.Ind ind))
+    [ alice; bob; mallory ];
+  db, alice, bob, mallory, staff
+
+let permits db subject mode acl = Acl.permits ~db ~subject ~mode acl
+
+let test_empty_denies () =
+  let db, alice, _, _, _ = db_with_staff () in
+  List.iter
+    (fun mode -> check (Access_mode.to_string mode) false (permits db alice mode Acl.empty))
+    Access_mode.all
+
+let test_closed_world () =
+  let db, alice, bob, _, _ = db_with_staff () in
+  let acl = Acl.of_entries [ Acl.allow (Acl.Individual alice) [ Access_mode.Read ] ] in
+  check "alice read" true (permits db alice Access_mode.Read acl);
+  check "alice write" false (permits db alice Access_mode.Write acl);
+  check "bob read" false (permits db bob Access_mode.Read acl)
+
+let test_group_entry () =
+  let db, alice, bob, _, staff = db_with_staff () in
+  let acl = Acl.of_entries [ Acl.allow (Acl.Group staff) [ Access_mode.Read ] ] in
+  check "alice via staff" true (permits db alice Access_mode.Read acl);
+  check "bob via staff" true (permits db bob Access_mode.Read acl);
+  check "outsider" false
+    (permits db (Principal.individual "outsider") Access_mode.Read acl)
+
+let test_everyone_entry () =
+  let db, _, _, _, _ = db_with_staff () in
+  let acl = Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List ] ] in
+  check "anyone" true (permits db (Principal.individual "stranger") Access_mode.List acl)
+
+let test_deny_beats_allow_same_tier () =
+  let db, alice, _, _, _ = db_with_staff () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Individual alice) [ Access_mode.Read ];
+        Acl.deny (Acl.Individual alice) [ Access_mode.Read ];
+      ]
+  in
+  check "deny wins" false (permits db alice Access_mode.Read acl);
+  (* Order independent. *)
+  let acl_rev =
+    Acl.of_entries
+      [
+        Acl.deny (Acl.Individual alice) [ Access_mode.Read ];
+        Acl.allow (Acl.Individual alice) [ Access_mode.Read ];
+      ]
+  in
+  check "deny wins reversed" false (permits db alice Access_mode.Read acl_rev)
+
+let test_individual_beats_group () =
+  let db, alice, bob, mallory, staff = db_with_staff () in
+  (* The paper's group-minus-one idiom. *)
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Group staff) [ Access_mode.Read ];
+        Acl.deny (Acl.Individual mallory) [ Access_mode.Read ];
+      ]
+  in
+  check "alice" true (permits db alice Access_mode.Read acl);
+  check "bob" true (permits db bob Access_mode.Read acl);
+  check "mallory banned" false (permits db mallory Access_mode.Read acl);
+  (* The mirror image: individual allow overrides group deny. *)
+  let acl2 =
+    Acl.of_entries
+      [
+        Acl.deny (Acl.Group staff) [ Access_mode.Read ];
+        Acl.allow (Acl.Individual alice) [ Access_mode.Read ];
+      ]
+  in
+  check "alice excepted from group deny" true (permits db alice Access_mode.Read acl2);
+  check "bob still denied" false (permits db bob Access_mode.Read acl2)
+
+let test_group_beats_everyone () =
+  let db, alice, _, _, staff = db_with_staff () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow Acl.Everyone [ Access_mode.Read ];
+        Acl.deny (Acl.Group staff) [ Access_mode.Read ];
+      ]
+  in
+  check "staff denied" false (permits db alice Access_mode.Read acl);
+  check "stranger allowed" true
+    (permits db (Principal.individual "stranger") Access_mode.Read acl)
+
+let test_verdict_reporting () =
+  let db, alice, _, mallory, staff = db_with_staff () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Group staff) [ Access_mode.Read ];
+        Acl.deny (Acl.Individual mallory) [ Access_mode.Read ];
+      ]
+  in
+  (match Acl.check ~db ~subject:mallory ~mode:Access_mode.Read acl with
+  | Acl.Denied_by (Acl.Individual who) ->
+    check "deny names mallory" true (Principal.equal_individual who mallory)
+  | _ -> Alcotest.fail "expected individual deny");
+  (match Acl.check ~db ~subject:alice ~mode:Access_mode.Read acl with
+  | Acl.Granted (Acl.Group grp) ->
+    check "granted via staff" true (Principal.equal_group grp staff)
+  | _ -> Alcotest.fail "expected group grant");
+  match Acl.check ~db ~subject:alice ~mode:Access_mode.Write acl with
+  | Acl.No_entry -> ()
+  | _ -> Alcotest.fail "expected no entry"
+
+let test_modes_of () =
+  let db, alice, _, _, staff = db_with_staff () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Individual alice) [ Access_mode.Read; Access_mode.Write ];
+        Acl.allow (Acl.Group staff) [ Access_mode.Execute ];
+        Acl.deny (Acl.Individual alice) [ Access_mode.Write ];
+      ]
+  in
+  let modes = Acl.modes_of ~db ~subject:alice acl in
+  check "read" true (Access_mode.Set.mem Access_mode.Read modes);
+  check "write denied" false (Access_mode.Set.mem Access_mode.Write modes);
+  check "execute via group" true (Access_mode.Set.mem Access_mode.Execute modes)
+
+let test_owner_default () =
+  let db, alice, bob, _, _ = db_with_staff () in
+  let acl = Acl.owner_default alice in
+  List.iter
+    (fun mode ->
+      check ("owner " ^ Access_mode.to_string mode) true (permits db alice mode acl);
+      check ("other " ^ Access_mode.to_string mode) false (permits db bob mode acl))
+    Access_mode.all
+
+(* Property tests. *)
+
+let arb_mode = QCheck.oneofl Access_mode.all
+
+let prop_deny_monotone =
+  QCheck.Test.make ~name:"adding a matching individual deny never grants"
+    ~count:200
+    (QCheck.pair arb_mode (QCheck.small_list (QCheck.pair QCheck.bool arb_mode)))
+    (fun (mode, spec) ->
+      let db, alice, _, _, staff = db_with_staff () in
+      let entries =
+        List.map
+          (fun (use_group, m) ->
+            if use_group then Acl.allow (Acl.Group staff) [ m ]
+            else Acl.allow (Acl.Individual alice) [ m ])
+          spec
+      in
+      let acl = Acl.of_entries entries in
+      let acl' = Acl.add (Acl.deny (Acl.Individual alice) [ mode ]) acl in
+      not (Acl.permits ~db ~subject:alice ~mode acl'))
+
+let prop_permits_subset_of_mentions =
+  QCheck.Test.make ~name:"permits implies some allow entry mentions the mode" ~count:200
+    (QCheck.small_list (QCheck.pair QCheck.bool arb_mode))
+    (fun spec ->
+      let db, alice, _, _, staff = db_with_staff () in
+      let entries =
+        List.map
+          (fun (positive, m) ->
+            if positive then Acl.allow (Acl.Individual alice) [ m ]
+            else Acl.deny (Acl.Group staff) [ m ])
+          spec
+      in
+      let acl = Acl.of_entries entries in
+      List.for_all
+        (fun mode ->
+          if Acl.permits ~db ~subject:alice ~mode acl then
+            List.exists
+              (fun e ->
+                e.Acl.sign = Acl.Allow && Access_mode.Set.mem mode e.Acl.modes)
+              (Acl.entries acl)
+          else true)
+        Access_mode.all)
+
+let suite =
+  [
+    Alcotest.test_case "empty denies" `Quick test_empty_denies;
+    Alcotest.test_case "closed world" `Quick test_closed_world;
+    Alcotest.test_case "group entry" `Quick test_group_entry;
+    Alcotest.test_case "everyone entry" `Quick test_everyone_entry;
+    Alcotest.test_case "deny beats allow in tier" `Quick test_deny_beats_allow_same_tier;
+    Alcotest.test_case "individual beats group" `Quick test_individual_beats_group;
+    Alcotest.test_case "group beats everyone" `Quick test_group_beats_everyone;
+    Alcotest.test_case "verdict reporting" `Quick test_verdict_reporting;
+    Alcotest.test_case "modes_of" `Quick test_modes_of;
+    Alcotest.test_case "owner default" `Quick test_owner_default;
+    QCheck_alcotest.to_alcotest prop_deny_monotone;
+    QCheck_alcotest.to_alcotest prop_permits_subset_of_mentions;
+  ]

@@ -1,0 +1,176 @@
+open Exsec_baselines
+
+let check = Alcotest.(check bool)
+
+let models : (module Model.MODEL) list =
+  [
+    (module Unix_perms);
+    (module Afs_acl);
+    (module Nt_acl);
+    (module Java_sandbox);
+    (module Spin_domains);
+    (module Vino_priv);
+    (module Ours);
+  ]
+
+let outcome model id =
+  match Suite.find id with
+  | None -> Alcotest.failf "unknown requirement %s" id
+  | Some requirement -> Model.evaluate model requirement
+
+let is_enforced = function
+  | Model.Enforced -> true
+  | Model.Inexpressible | Model.Misenforced _ -> false
+
+let test_ours_enforces_everything () =
+  List.iter
+    (fun (r : World.requirement) ->
+      match Model.evaluate (module Ours) r with
+      | Model.Enforced -> ()
+      | other ->
+        Alcotest.failf "%s: %s" r.World.r_id (Format.asprintf "%a" Model.pp_outcome other))
+    Suite.all
+
+let test_no_baseline_enforces_everything () =
+  List.iter
+    (fun (module M : Model.MODEL) ->
+      if not (String.equal M.name "this-paper") then begin
+        let all_good =
+          List.for_all (fun r -> is_enforced (Model.evaluate (module M) r)) Suite.all
+        in
+        check (M.name ^ " incomplete") false all_good
+      end)
+    models
+
+(* The paper's specific claims, pinned as expectations. *)
+
+let test_unix_claims () =
+  check "R1 single-owner service" true (is_enforced (outcome (module Unix_perms) "R1"));
+  (* No extend bit. *)
+  (match outcome (module Unix_perms) "R2" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "unix should mis-enforce R2");
+  (* No negative entries. *)
+  (match outcome (module Unix_perms) "R3" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "unix should mis-enforce R3");
+  (* One group slot. *)
+  (match outcome (module Unix_perms) "R4" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "unix should mis-enforce R4");
+  (* Per-file granularity is genuinely fine in Unix. *)
+  check "R5" true (is_enforced (outcome (module Unix_perms) "R5"));
+  (* No MAC. *)
+  check "R6 inexpressible" true (outcome (module Unix_perms) "R6" = Model.Inexpressible);
+  match outcome (module Unix_perms) "R9" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "unix should mis-enforce R9"
+
+let test_afs_claims () =
+  (* Negative rights work... *)
+  check "R3" true (is_enforced (outcome (module Afs_acl) "R3"));
+  check "R4" true (is_enforced (outcome (module Afs_acl) "R4"));
+  (* ...but only per directory: the paper's exact complaint. *)
+  (match outcome (module Afs_acl) "R5" with
+  | Model.Misenforced { failed = 1; total = 4 } -> ()
+  | other -> Alcotest.failf "afs R5: %s" (Format.asprintf "%a" Model.pp_outcome other));
+  (* Services are beyond the mechanism. *)
+  check "R1 inexpressible" true (outcome (module Afs_acl) "R1" = Model.Inexpressible)
+
+let test_nt_claims () =
+  check "R3" true (is_enforced (outcome (module Nt_acl) "R3"));
+  check "R5 per-file" true (is_enforced (outcome (module Nt_acl) "R5"));
+  check "R1 inexpressible (no extension control)" true
+    (outcome (module Nt_acl) "R1" = Model.Inexpressible);
+  check "R6 inexpressible (no MAC)" true (outcome (module Nt_acl) "R6" = Model.Inexpressible);
+  (* The append right is real, so NT comes closest on R12 — but the
+     clearance-based read still fails. *)
+  match outcome (module Nt_acl) "R12" with
+  | Model.Misenforced { failed = 1; total = 6 } -> ()
+  | other -> Alcotest.failf "nt R12: %s" (Format.asprintf "%a" Model.pp_outcome other)
+
+let test_java_claims () =
+  (* Binary trust cannot distinguish principals... *)
+  (match outcome (module Java_sandbox) "R1" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "java should mis-enforce R1");
+  (* ...nor intermediate trust levels... *)
+  (match outcome (module Java_sandbox) "R6" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "java should mis-enforce R6");
+  (* ...and judges code, not principals (an untrusted user running
+     trusted-origin code gets everything). *)
+  match outcome (module Java_sandbox) "R10" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "java should mis-enforce R10"
+
+let test_spin_claims () =
+  (* Domains do solve call restriction. *)
+  check "R1" true (is_enforced (outcome (module Spin_domains) "R1"));
+  (* But linking grants call and extend together. *)
+  (match outcome (module Spin_domains) "R2" with
+  | Model.Misenforced { failed = 2; total = 6 } -> ()
+  | other -> Alcotest.failf "spin R2: %s" (Format.asprintf "%a" Model.pp_outcome other));
+  (* Files and flow are out of scope. *)
+  check "R3" true (outcome (module Spin_domains) "R3" = Model.Inexpressible);
+  check "R9" true (outcome (module Spin_domains) "R9" = Model.Inexpressible)
+
+let test_vino_claims () =
+  (* One privilege boundary works. *)
+  check "R1" true (is_enforced (outcome (module Vino_priv) "R1"));
+  (* Distinct call/extend sets don't. *)
+  check "R2" true (outcome (module Vino_priv) "R2" = Model.Inexpressible);
+  (* Multi-level policies don't. *)
+  check "R6" true (outcome (module Vino_priv) "R6" = Model.Inexpressible);
+  match outcome (module Vino_priv) "R12" with
+  | Model.Misenforced _ -> ()
+  | _ -> Alcotest.fail "vino should mis-enforce R12"
+
+let test_three_prong_fault_injection () =
+  (* No faults: no breaches. *)
+  Alcotest.(check (float 0.0)) "intact" 0.0 (Java_sandbox.breach_fraction ~faulty:[]);
+  (* Any single faulty prong admits some attacks — the paper's
+     "a design or implementation error in any one of the three
+     prongs can break the entire security system". *)
+  List.iter
+    (fun prong ->
+      check "single fault breaches" true (Java_sandbox.breach_fraction ~faulty:[ prong ] > 0.0))
+    Java_sandbox.prongs;
+  (* All prongs faulty: everything breached. *)
+  Alcotest.(check (float 0.0)) "total" 1.0
+    (Java_sandbox.breach_fraction ~faulty:Java_sandbox.prongs);
+  (* Fractions over single faults sum to 1: each attack is guarded by
+     exactly one prong. *)
+  let sum =
+    List.fold_left
+      (fun acc prong -> acc +. Java_sandbox.breach_fraction ~faulty:[ prong ])
+      0.0 Java_sandbox.prongs
+  in
+  Alcotest.(check (float 0.0001)) "partition" 1.0 sum
+
+let test_evaluate_verbose_reports_cases () =
+  match Suite.find "R3" with
+  | None -> Alcotest.fail "no R3"
+  | Some r ->
+    let outcome, failures = Model.evaluate_verbose (module Unix_perms) r in
+    (match outcome with
+    | Model.Misenforced { failed; _ } ->
+      Alcotest.(check int) "failure list matches count" failed (List.length failures)
+    | _ -> Alcotest.fail "expected misenforcement");
+    List.iter
+      (fun { Model.case; got } -> check "reported case really differs" true (got <> case.World.c_expect))
+      failures
+
+let suite =
+  [
+    Alcotest.test_case "ours enforces everything" `Quick test_ours_enforces_everything;
+    Alcotest.test_case "no baseline enforces everything" `Quick test_no_baseline_enforces_everything;
+    Alcotest.test_case "unix claims" `Quick test_unix_claims;
+    Alcotest.test_case "afs claims" `Quick test_afs_claims;
+    Alcotest.test_case "nt claims" `Quick test_nt_claims;
+    Alcotest.test_case "java claims" `Quick test_java_claims;
+    Alcotest.test_case "spin claims" `Quick test_spin_claims;
+    Alcotest.test_case "vino claims" `Quick test_vino_claims;
+    Alcotest.test_case "three-prong faults" `Quick test_three_prong_fault_injection;
+    Alcotest.test_case "verbose evaluation" `Quick test_evaluate_verbose_reports_cases;
+  ]

@@ -1,0 +1,205 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "local"; "org"; "outside" ] in
+  let universe = Category.universe [ "d1"; "d2" ] in
+  hierarchy, universe
+
+let cls hierarchy universe level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+let test_login_at_clearance () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  let clearance = cls hierarchy universe "local" [ "d1" ] in
+  Clearance.register registry alice clearance;
+  match Clearance.login registry alice with
+  | Ok subject ->
+    check "class" true (Security_class.equal (Subject.effective_class subject) clearance);
+    check "principal" true (Principal.equal_individual (Subject.principal subject) alice);
+    check "not trusted" false (Subject.is_trusted subject)
+  | Error e -> Alcotest.failf "login: %s" (Format.asprintf "%a" Clearance.pp_error e)
+
+let test_login_below_clearance () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry alice (cls hierarchy universe "local" [ "d1"; "d2" ]);
+  let low = cls hierarchy universe "org" [ "d1" ] in
+  match Clearance.login registry ~at:low alice with
+  | Ok subject ->
+    check "session at requested class" true
+      (Security_class.equal (Subject.effective_class subject) low)
+  | Error _ -> Alcotest.fail "login below clearance refused"
+
+let test_login_above_clearance_refused () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry alice (cls hierarchy universe "org" [ "d1" ]);
+  (match Clearance.login registry ~at:(cls hierarchy universe "local" [ "d1" ]) alice with
+  | Error (Clearance.Above_clearance _) -> ()
+  | _ -> Alcotest.fail "level raise admitted");
+  (* Sideways (incomparable) is also above-clearance. *)
+  match Clearance.login registry ~at:(cls hierarchy universe "org" [ "d2" ]) alice with
+  | Error (Clearance.Above_clearance _) -> ()
+  | _ -> Alcotest.fail "category swap admitted"
+
+let test_unknown_principal () =
+  let registry = Clearance.create () in
+  match Clearance.login registry (Principal.individual "ghost") with
+  | Error (Clearance.Unknown_principal _) -> ()
+  | _ -> Alcotest.fail "ghost logged in"
+
+let test_authenticate () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry ~secret:"hunter2" alice (cls hierarchy universe "local" []);
+  (match Clearance.authenticate registry ~secret:"hunter2" alice with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "correct secret refused");
+  (match Clearance.authenticate registry ~secret:"wrong" alice with
+  | Error Clearance.Bad_secret -> ()
+  | _ -> Alcotest.fail "wrong secret accepted");
+  (* Principals without a secret never authenticate. *)
+  let bob = Principal.individual "bob" in
+  Clearance.register registry bob (cls hierarchy universe "org" []);
+  match Clearance.authenticate registry ~secret:"" bob with
+  | Error Clearance.Bad_secret -> ()
+  | _ -> Alcotest.fail "secretless principal authenticated"
+
+let test_trusted_and_integrity_flow_through () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let root = Principal.individual "root" in
+  let integrity = cls hierarchy universe "local" [] in
+  Clearance.register registry ~trusted:true ~integrity root (cls hierarchy universe "local" [ "d1"; "d2" ]);
+  match Clearance.login registry root with
+  | Ok subject ->
+    check "trusted" true (Subject.is_trusted subject);
+    (match Subject.integrity subject with
+    | Some i -> check "integrity" true (Security_class.equal i integrity)
+    | None -> Alcotest.fail "integrity lost")
+  | Error _ -> Alcotest.fail "root login failed"
+
+let test_revoke () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry alice (cls hierarchy universe "org" []);
+  check "registered" true (Clearance.is_registered registry alice);
+  Clearance.revoke registry alice;
+  check "revoked" false (Clearance.is_registered registry alice);
+  match Clearance.login registry alice with
+  | Error (Clearance.Unknown_principal _) -> ()
+  | _ -> Alcotest.fail "revoked principal logged in"
+
+let test_re_register_replaces () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry alice (cls hierarchy universe "local" [ "d1" ]);
+  Clearance.register registry alice (cls hierarchy universe "outside" []);
+  match Clearance.clearance_of registry alice with
+  | Some clearance ->
+    Alcotest.(check string) "demoted" "outside" (Level.name (Security_class.level clearance))
+  | None -> Alcotest.fail "lost registration"
+
+let test_registered_listing () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  List.iter
+    (fun name ->
+      Clearance.register registry (Principal.individual name)
+        (cls hierarchy universe "org" []))
+    [ "zoe"; "alice" ];
+  Alcotest.(check (list string)) "sorted" [ "alice"; "zoe" ]
+    (List.map Principal.individual_name (Clearance.registered registry))
+
+(* Property: a session issued by login never exceeds the registered
+   clearance. *)
+let prop_sessions_bounded =
+  let hierarchy, universe = std () in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let cls_gen =
+          let* level = oneofl (Level.names hierarchy) in
+          let* d1 = bool in
+          let* d2 = bool in
+          let cats =
+            List.concat [ (if d1 then [ "d1" ] else []); (if d2 then [ "d2" ] else []) ]
+          in
+          return (cls hierarchy universe level cats)
+        in
+        pair cls_gen cls_gen)
+  in
+  QCheck.Test.make ~name:"sessions never exceed clearance" ~count:300 arb
+    (fun (clearance, requested) ->
+      let registry = Clearance.create () in
+      let alice = Principal.individual "alice" in
+      Clearance.register registry alice clearance;
+      match Clearance.login registry ~at:requested alice with
+      | Ok subject ->
+        Security_class.dominates clearance (Subject.effective_class subject)
+      | Error (Clearance.Above_clearance _) ->
+        not (Security_class.dominates clearance requested)
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "login at clearance" `Quick test_login_at_clearance;
+    Alcotest.test_case "login below clearance" `Quick test_login_below_clearance;
+    Alcotest.test_case "login above refused" `Quick test_login_above_clearance_refused;
+    Alcotest.test_case "unknown principal" `Quick test_unknown_principal;
+    Alcotest.test_case "authenticate" `Quick test_authenticate;
+    Alcotest.test_case "trusted/integrity flow through" `Quick test_trusted_and_integrity_flow_through;
+    Alcotest.test_case "revoke" `Quick test_revoke;
+    Alcotest.test_case "re-register replaces" `Quick test_re_register_replaces;
+    Alcotest.test_case "registered listing" `Quick test_registered_listing;
+    QCheck_alcotest.to_alcotest prop_sessions_bounded;
+  ]
+
+let test_authenticate_with_session_class () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let alice = Principal.individual "alice" in
+  Clearance.register registry ~secret:"s3cret" alice (cls hierarchy universe "local" [ "d1" ]);
+  (match
+     Clearance.authenticate registry ~secret:"s3cret"
+       ~at:(cls hierarchy universe "org" []) alice
+   with
+  | Ok subject ->
+    Alcotest.(check string) "session level" "org"
+      (Level.name (Security_class.level (Subject.effective_class subject)))
+  | Error _ -> Alcotest.fail "authenticate below clearance");
+  match
+    Clearance.authenticate registry ~secret:"s3cret"
+      ~at:(cls hierarchy universe "local" [ "d1"; "d2" ]) alice
+  with
+  | Error (Clearance.Above_clearance _) -> ()
+  | _ -> Alcotest.fail "authenticate above clearance"
+
+let test_detail_of () =
+  let hierarchy, universe = std () in
+  let registry = Clearance.create () in
+  let root = Principal.individual "root" in
+  let integrity = cls hierarchy universe "local" [] in
+  Clearance.register registry ~trusted:true ~integrity root (cls hierarchy universe "local" []);
+  (match Clearance.detail_of registry root with
+  | Some detail ->
+    check "trusted" true detail.Clearance.trusted;
+    check "integrity kept" true (detail.Clearance.integrity <> None)
+  | None -> Alcotest.fail "missing detail");
+  check "unknown" true (Clearance.detail_of registry (Principal.individual "ghost") = None)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "authenticate at session class" `Quick test_authenticate_with_session_class;
+      Alcotest.test_case "detail_of" `Quick test_detail_of;
+    ]

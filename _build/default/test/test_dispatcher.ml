@@ -1,0 +1,165 @@
+open Exsec_core
+open Exsec_extsys
+
+let check = Alcotest.(check bool)
+
+let hierarchy = Level.hierarchy [ "local"; "org"; "outside" ]
+let universe = Category.universe [ "d1"; "d2" ]
+
+let cls level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+let handler ?guard owner klass tag =
+  {
+    Dispatcher.owner;
+    klass;
+    guard;
+    impl = (fun _ctx _args -> Ok (Value.str tag));
+  }
+
+let event = Path.of_string "/svc/thing"
+
+let run_handler = function
+  | Some h -> (
+    let fake_ctx =
+      {
+        Service.subject = Subject.make (Principal.individual "x") (cls "local" []);
+        caller = "test";
+        call = (fun _ _ -> Error (Service.Ext_failure "no"));
+        raise_event = (fun _ _ -> Error (Service.Ext_failure "no"));
+      }
+    in
+    match h.Dispatcher.impl fake_ctx [] with
+    | Ok (Value.Str tag) -> Some tag
+    | _ -> None)
+  | None -> None
+
+let test_selection_by_class () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "ext-local" (cls "local" []) "local");
+  Dispatcher.register d ~event (handler "ext-org" (cls "org" []) "org");
+  Dispatcher.register d ~event (handler "ext-out" (cls "outside" []) "out");
+  (* A local caller dominates all three; the most specific (its own
+     level) wins. *)
+  Alcotest.(check (option string)) "local caller" (Some "local")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "local" []) ~args:[]));
+  Alcotest.(check (option string)) "org caller" (Some "org")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "org" []) ~args:[]));
+  Alcotest.(check (option string)) "outside caller" (Some "out")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "outside" []) ~args:[]))
+
+let test_no_eligible_handler () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "ext-local" (cls "local" []) "local");
+  (* An outside caller dominates nothing registered. *)
+  check "none" true (Dispatcher.select d ~event ~caller_class:(cls "outside" []) ~args:[] = None);
+  check "unknown event" true
+    (Dispatcher.select d ~event:(Path.of_string "/nope") ~caller_class:(cls "local" []) ~args:[] = None)
+
+let test_guard_filters () =
+  let d = Dispatcher.create () in
+  let is_one args = match args with [ Value.Int 1 ] -> true | _ -> false in
+  Dispatcher.register d ~event (handler ~guard:is_one "guarded" (cls "org" []) "one");
+  Dispatcher.register d ~event (handler "fallback" (cls "org" []) "any");
+  Alcotest.(check (option string)) "guard match" (Some "one")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "org" []) ~args:[ Value.int 1 ]));
+  Alcotest.(check (option string)) "guard miss" (Some "any")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "org" []) ~args:[ Value.int 2 ]))
+
+let test_registration_order_breaks_ties () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "first" (cls "org" []) "first");
+  Dispatcher.register d ~event (handler "second" (cls "org" []) "second");
+  Alcotest.(check (option string)) "first registered wins" (Some "first")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "local" []) ~args:[]))
+
+let test_select_all_ordering () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "out" (cls "outside" []) "out");
+  Dispatcher.register d ~event (handler "local" (cls "local" [ "d1" ]) "local");
+  Dispatcher.register d ~event (handler "org" (cls "org" [ "d1" ]) "org");
+  let all =
+    Dispatcher.select_all d ~event ~caller_class:(cls "local" [ "d1"; "d2" ]) ~args:[]
+  in
+  Alcotest.(check (list string)) "most specific first" [ "local"; "org"; "out" ]
+    (List.map (fun h -> h.Dispatcher.owner) all)
+
+let test_unregister_owner () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "doomed" (cls "org" []) "a");
+  Dispatcher.register d ~event (handler "stays" (cls "org" []) "b");
+  Dispatcher.register d ~event:(Path.of_string "/svc/other") (handler "doomed" (cls "org" []) "c");
+  Alcotest.(check int) "three registered" 3 (Dispatcher.handler_count d);
+  Dispatcher.unregister_owner d "doomed";
+  Alcotest.(check int) "one left" 1 (Dispatcher.handler_count d);
+  Alcotest.(check (list string)) "events pruned" [ "/svc/thing" ]
+    (List.map Path.to_string (Dispatcher.events d))
+
+let test_incomparable_classes () =
+  let d = Dispatcher.create () in
+  Dispatcher.register d ~event (handler "d1" (cls "org" [ "d1" ]) "d1");
+  Dispatcher.register d ~event (handler "d2" (cls "org" [ "d2" ]) "d2");
+  (* A d2-only caller cannot reach the d1 handler. *)
+  Alcotest.(check (option string)) "d2 caller" (Some "d2")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "org" [ "d2" ]) ~args:[]));
+  (* A caller with both sees both; registration order breaks the
+     incomparable tie. *)
+  Alcotest.(check (option string)) "merged caller" (Some "d1")
+    (run_handler (Dispatcher.select d ~event ~caller_class:(cls "org" [ "d1"; "d2" ]) ~args:[]))
+
+let suite =
+  [
+    Alcotest.test_case "selection by class" `Quick test_selection_by_class;
+    Alcotest.test_case "no eligible handler" `Quick test_no_eligible_handler;
+    Alcotest.test_case "guards" `Quick test_guard_filters;
+    Alcotest.test_case "tie by registration order" `Quick test_registration_order_breaks_ties;
+    Alcotest.test_case "select_all ordering" `Quick test_select_all_ordering;
+    Alcotest.test_case "unregister owner" `Quick test_unregister_owner;
+    Alcotest.test_case "incomparable classes" `Quick test_incomparable_classes;
+  ]
+
+(* Property: select returns an *eligible* handler (caller dominates
+   its class, guard passes) that is *maximal* among eligible handlers
+   (no eligible handler strictly dominates it). *)
+let prop_select_eligible_and_maximal =
+  let hierarchy = Level.hierarchy [ "l3"; "l2"; "l1"; "l0" ] in
+  let universe = Category.universe [ "x"; "y" ] in
+  let mk_class (level_ix, x, y) =
+    let level = Level.of_name_exn hierarchy (Printf.sprintf "l%d" level_ix) in
+    let cats =
+      List.concat [ (if x then [ "x" ] else []); (if y then [ "y" ] else []) ]
+    in
+    Security_class.make level (Category.of_names universe cats)
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let klass = triple (int_range 0 3) bool bool in
+        pair klass (list_size (int_range 0 8) klass))
+  in
+  QCheck.Test.make ~name:"select is eligible and maximal" ~count:300 arb
+    (fun (caller_spec, handler_specs) ->
+      let d = Dispatcher.create () in
+      let event = Path.of_string "/e" in
+      List.iteri
+        (fun i spec ->
+          Dispatcher.register d ~event (handler (Printf.sprintf "h%d" i) (mk_class spec) "t"))
+        handler_specs;
+      let caller_class = mk_class caller_spec in
+      let eligible =
+        List.filter
+          (fun h -> Security_class.dominates caller_class h.Dispatcher.klass)
+          (Dispatcher.handlers d ~event)
+      in
+      match Dispatcher.select d ~event ~caller_class ~args:[] with
+      | None -> eligible = []
+      | Some best ->
+        List.exists (fun h -> h == best) eligible
+        && List.for_all
+             (fun h ->
+               not
+                 (Security_class.dominates h.Dispatcher.klass best.Dispatcher.klass
+                 && not (Security_class.equal h.Dispatcher.klass best.Dispatcher.klass)))
+             eligible)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_select_eligible_and_maximal ]

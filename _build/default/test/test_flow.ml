@@ -1,0 +1,197 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "high"; "mid"; "low" ] in
+  let universe = Category.universe [ "a" ] in
+  hierarchy, universe
+
+let cls hierarchy universe level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+let open_acl =
+  Acl.of_entries
+    [ Acl.allow Acl.Everyone [ Access_mode.Read; Access_mode.Write; Access_mode.Write_append ] ]
+
+(* Drive a monitor with the given policy through a fixed script and
+   analyse its audit log. *)
+let run_script policy =
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let carol = Principal.individual "carol" in
+  Principal.Db.add_individual db carol;
+  let monitor = Reference_monitor.create ~policy db in
+  let subject = Subject.make carol (cls hierarchy universe "mid" []) in
+  let high_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "high" []) in
+  let mid_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "mid" []) in
+  let low_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "low" []) in
+  let access meta name mode =
+    ignore (Reference_monitor.check monitor ~subject ~meta ~object_name:name ~mode)
+  in
+  (* Legitimate: read low, write own level, append up. *)
+  access low_obj "/low" Access_mode.Read;
+  access mid_obj "/mid" Access_mode.Write;
+  access high_obj "/high" Access_mode.Write_append;
+  (* The leak attempt: read own level, write low. *)
+  access mid_obj "/mid" Access_mode.Read;
+  access low_obj "/low" Access_mode.Write;
+  (* And a read-up attempt. *)
+  access high_obj "/high" Access_mode.Read;
+  Flow.analyse_log (Reference_monitor.audit monitor)
+
+let test_default_policy_is_clean () =
+  let report = run_script Policy.default in
+  check "clean" true (Flow.is_clean report);
+  Alcotest.(check int) "scanned" 6 report.Flow.scanned;
+  (* Write-down and read-up were denied, so only 4 grants replay. *)
+  Alcotest.(check int) "grants" 4 report.Flow.grants
+
+let test_dac_only_leaks () =
+  let report = run_script Policy.dac_only in
+  check "not clean" false (Flow.is_clean report);
+  let kinds =
+    List.map
+      (function
+        | Flow.Read_up _ -> "read-up"
+        | Flow.Write_down _ -> "write-down"
+        | Flow.Transitive_leak _ -> "transitive")
+      report.Flow.findings
+  in
+  check "has write-down" true (List.mem "write-down" kinds);
+  check "has read-up" true (List.mem "read-up" kinds);
+  check "has transitive" true (List.mem "transitive" kinds)
+
+let test_transitive_leak_detected () =
+  (* A subject whose own class equals the sink: the direct write-down
+     check passes, only the watermark catches the laundering. *)
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let carol = Principal.individual "carol" in
+  Principal.Db.add_individual db carol;
+  let monitor = Reference_monitor.create ~policy:Policy.dac_only db in
+  let low_subject = Subject.make carol (cls hierarchy universe "low" []) in
+  let high_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "high" []) in
+  let low_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "low" []) in
+  (* DAC-only admits the read-up; then writing at the subject's own
+     level is not a *direct* write-down but is a transitive leak. *)
+  ignore (Reference_monitor.check monitor ~subject:low_subject ~meta:high_obj ~object_name:"/h" ~mode:Access_mode.Read);
+  ignore (Reference_monitor.check monitor ~subject:low_subject ~meta:low_obj ~object_name:"/l" ~mode:Access_mode.Write);
+  let report = Flow.analyse_log (Reference_monitor.audit monitor) in
+  let transitive =
+    List.filter
+      (function
+        | Flow.Transitive_leak _ -> true
+        | Flow.Read_up _ | Flow.Write_down _ -> false)
+      report.Flow.findings
+  in
+  Alcotest.(check int) "one transitive leak" 1 (List.length transitive)
+
+let test_trusted_subjects_exempt () =
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let root = Principal.individual "root" in
+  Principal.Db.add_individual db root;
+  let monitor = Reference_monitor.create db in
+  let subject = Subject.make ~trusted:true root (cls hierarchy universe "high" []) in
+  let low_obj = Meta.make ~owner:root ~acl:open_acl (cls hierarchy universe "low" []) in
+  ignore (Reference_monitor.check monitor ~subject ~meta:low_obj ~object_name:"/l" ~mode:Access_mode.Write);
+  let report = Flow.analyse_log (Reference_monitor.audit monitor) in
+  check "TCB write-down not a finding" true (Flow.is_clean report)
+
+let test_denied_events_ignored () =
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let carol = Principal.individual "carol" in
+  Principal.Db.add_individual db carol;
+  let monitor = Reference_monitor.create db in
+  let subject = Subject.make carol (cls hierarchy universe "low" []) in
+  let high_obj = Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe "high" []) in
+  (* The read-up is denied by MAC; denials are not flows. *)
+  ignore (Reference_monitor.check monitor ~subject ~meta:high_obj ~object_name:"/h" ~mode:Access_mode.Read);
+  let report = Flow.analyse_log (Reference_monitor.audit monitor) in
+  check "clean" true (Flow.is_clean report);
+  Alcotest.(check int) "no grants" 0 report.Flow.grants
+
+(* Property: under the default policy, any sequence of accesses by a
+   subject at a fixed class leaves a clean trail (Denning soundness
+   end-to-end through the monitor).  The class must be fixed per
+   principal: re-logging the same principal at different levels is
+   itself a channel the monitor does not police — login policy does
+   (see Clearance). *)
+let prop_default_policy_always_clean =
+  let hierarchy, universe = std () in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        pair (int_range 0 2)
+          (list_size (int_range 1 40) (pair (int_range 0 2) (oneofl Access_mode.all))))
+  in
+  QCheck.Test.make ~name:"default policy leaves clean flow trails" ~count:100 arb
+    (fun (subject_level, script) ->
+      let db = Principal.Db.create () in
+      let carol = Principal.individual "carol" in
+      Principal.Db.add_individual db carol;
+      let monitor = Reference_monitor.create db in
+      let level i = List.nth [ "high"; "mid"; "low" ] i in
+      let metas =
+        Array.init 3 (fun i ->
+            Meta.make ~owner:carol ~acl:open_acl (cls hierarchy universe (level i) []))
+      in
+      let subject = Subject.make carol (cls hierarchy universe (level subject_level) []) in
+      List.iter
+        (fun (object_index, mode) ->
+          ignore
+            (Reference_monitor.check monitor ~subject ~meta:metas.(object_index)
+               ~object_name:(Printf.sprintf "/o%d" object_index) ~mode))
+        script;
+      Flow.is_clean (Flow.analyse_log (Reference_monitor.audit monitor)))
+
+let suite =
+  [
+    Alcotest.test_case "default policy clean" `Quick test_default_policy_is_clean;
+    Alcotest.test_case "dac-only leaks" `Quick test_dac_only_leaks;
+    Alcotest.test_case "transitive leak" `Quick test_transitive_leak_detected;
+    Alcotest.test_case "trusted exempt" `Quick test_trusted_subjects_exempt;
+    Alcotest.test_case "denied events ignored" `Quick test_denied_events_ignored;
+    QCheck_alcotest.to_alcotest prop_default_policy_always_clean;
+  ]
+
+let test_cross_principal_laundering () =
+  (* Under DAC-only: courier reads high, writes low object O (flagged,
+     but it happened); mule — a different principal — reads O (class
+     low: no read-up for the mule) and writes another low object.
+     Only object-watermark propagation catches the mule's write. *)
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let courier = Principal.individual "courier" in
+  let mule = Principal.individual "mule" in
+  Principal.Db.add_individual db courier;
+  Principal.Db.add_individual db mule;
+  let monitor = Reference_monitor.create ~policy:Policy.dac_only db in
+  let low = cls hierarchy universe "low" [] in
+  let high_obj = Meta.make ~owner:courier ~acl:open_acl (cls hierarchy universe "high" []) in
+  let dropbox = Meta.make ~owner:courier ~acl:open_acl low in
+  let exfil = Meta.make ~owner:mule ~acl:open_acl low in
+  let courier_sub = Subject.make courier low in
+  let mule_sub = Subject.make mule low in
+  ignore (Reference_monitor.check monitor ~subject:courier_sub ~meta:high_obj ~object_name:"/high" ~mode:Access_mode.Read);
+  ignore (Reference_monitor.check monitor ~subject:courier_sub ~meta:dropbox ~object_name:"/dropbox" ~mode:Access_mode.Write);
+  ignore (Reference_monitor.check monitor ~subject:mule_sub ~meta:dropbox ~object_name:"/dropbox" ~mode:Access_mode.Read);
+  ignore (Reference_monitor.check monitor ~subject:mule_sub ~meta:exfil ~object_name:"/exfil" ~mode:Access_mode.Write);
+  let report = Flow.analyse_log (Reference_monitor.audit monitor) in
+  (* The mule's final write must be flagged even though every one of
+     the mule's own accesses was class-legal in isolation. *)
+  let mule_flagged =
+    List.exists
+      (function
+        | Flow.Transitive_leak { event; _ } ->
+          String.equal event.Audit.object_name "/exfil"
+        | Flow.Read_up _ | Flow.Write_down _ -> false)
+      report.Flow.findings
+  in
+  check "laundering via the dropbox is caught" true mule_flagged
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "cross-principal laundering" `Quick test_cross_principal_laundering ]

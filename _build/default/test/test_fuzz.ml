@@ -1,0 +1,135 @@
+(* Randomized soak testing of the whole stack: seeded random operation
+   streams against a live kernel, with global invariants checked at
+   the end.  The point is crash-freedom plus end-to-end soundness —
+   whatever the sequence of (checked) operations, the audit trail of a
+   default-policy kernel must be flow-clean. *)
+
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+open Exsec_workload
+
+let check = Alcotest.(check bool)
+
+type world = {
+  kernel : Kernel.t;
+  fs : Memfs.t;
+  subjects : Subject.t array;  (* one fixed-class session per principal *)
+  rng : Prng.t;
+}
+
+let build_world ~seed =
+  let rng = Prng.create ~seed in
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  Principal.Db.add_individual db admin;
+  let hierarchy = Level.hierarchy [ "l2"; "l1"; "l0" ] in
+  let universe = Category.universe [ "a"; "b" ] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let admin_sub = Kernel.admin_subject kernel in
+  let fs =
+    match Memfs.mount kernel ~subject:admin_sub () with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "mount: %s" (Service.error_to_string e)
+  in
+  (match Memfs.install_service fs ~subject:admin_sub with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fs service: %s" (Service.error_to_string e));
+  let subjects =
+    Array.init 6 (fun i ->
+        let ind = Principal.individual (Printf.sprintf "fuzz%d" i) in
+        Principal.Db.add_individual db ind;
+        Subject.make ind (Gen.security_class rng hierarchy universe))
+  in
+  { kernel; fs; subjects; rng }
+
+(* One random operation; outcomes (grant or denial) are irrelevant —
+   only crash-freedom and the final invariants matter. *)
+let random_op world step =
+  let subject = world.subjects.(Prng.int world.rng (Array.length world.subjects)) in
+  let name = Printf.sprintf "f%d" (Prng.int world.rng 12) in
+  match Prng.int world.rng 8 with
+  | 0 -> ignore (Memfs.create world.fs ~subject name "contents")
+  | 1 -> ignore (Memfs.read world.fs ~subject name)
+  | 2 -> ignore (Memfs.write world.fs ~subject name (Printf.sprintf "v%d" step))
+  | 3 -> ignore (Memfs.append world.fs ~subject name "+")
+  | 4 -> ignore (Memfs.remove world.fs ~subject name)
+  | 5 -> ignore (Memfs.list world.fs ~subject "")
+  | 6 ->
+    ignore
+      (Kernel.call world.kernel ~subject ~caller:"fuzz"
+         (Path.of_string "/svc/fs/read") [ Value.str name ])
+  | _ -> (
+    (* Occasionally load/unload a small extension. *)
+    let ext_name = Printf.sprintf "fx%d" (Prng.int world.rng 3) in
+    if Prng.bool world.rng then
+      ignore
+        (Linker.link world.kernel ~subject
+           (Extension.make ~name:ext_name ~author:(Subject.principal subject)
+              ~imports:[ Path.of_string "/svc/fs/read" ]
+              ~provides:[ Extension.provided "probe" 0 (Service.const Value.unit) ]
+              ()))
+    else ignore (Linker.unload world.kernel ~subject ext_name))
+
+let soak ~seed ~steps =
+  let world = build_world ~seed in
+  for step = 1 to steps do
+    random_op world step
+  done;
+  world
+
+let test_no_crashes_many_seeds () =
+  List.iter
+    (fun seed -> ignore (soak ~seed ~steps:400))
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let test_flow_clean_after_soak () =
+  List.iter
+    (fun seed ->
+      let world = soak ~seed ~steps:400 in
+      let report =
+        Flow.analyse_log (Reference_monitor.audit (Kernel.monitor world.kernel))
+      in
+      if not (Flow.is_clean report) then
+        Alcotest.failf "seed %d: %s" seed (Format.asprintf "%a" Flow.pp_report report))
+    [ 7; 11; 99 ]
+
+let test_audit_totals_consistent () =
+  let world = soak ~seed:1234 ~steps:500 in
+  let audit = Reference_monitor.audit (Kernel.monitor world.kernel) in
+  check "many decisions" true (Audit.total audit > 500);
+  Alcotest.(check int) "totals add up" (Audit.total audit)
+    (Audit.granted_total audit + Audit.denied_total audit)
+
+let test_namespace_stays_wellformed () =
+  let world = soak ~seed:4321 ~steps:500 in
+  let ns = Kernel.namespace world.kernel in
+  (* Every node's label matches its path, every child's path extends
+     its parent's. *)
+  Namespace.iter ns (fun node ->
+      check "label matches path" true
+        (String.equal (Namespace.label node) (Path.to_string (Namespace.path node)));
+      List.iter
+        (fun (name, child) ->
+          check "child path" true
+            (Path.equal (Namespace.path child) (Path.child (Namespace.path node) name)))
+        (Namespace.children node))
+
+let test_deterministic_replay () =
+  let run seed =
+    let world = soak ~seed ~steps:300 in
+    let audit = Reference_monitor.audit (Kernel.monitor world.kernel) in
+    Audit.granted_total audit, Audit.denied_total audit, Namespace.size (Kernel.namespace world.kernel)
+  in
+  let a = run 777 in
+  let b = run 777 in
+  check "same grants/denials/size" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "no crashes across seeds" `Quick test_no_crashes_many_seeds;
+    Alcotest.test_case "flow-clean after soak" `Quick test_flow_clean_after_soak;
+    Alcotest.test_case "audit totals consistent" `Quick test_audit_totals_consistent;
+    Alcotest.test_case "namespace well-formed" `Quick test_namespace_stays_wellformed;
+    Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+  ]

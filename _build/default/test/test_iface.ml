@@ -1,0 +1,54 @@
+open Exsec_core
+open Exsec_extsys
+
+let check = Alcotest.(check bool)
+
+let test_make_and_find () =
+  let iface = Iface.make "math" [ Iface.proc_sig "add" 2; Iface.proc_sig "neg" 1 ] in
+  (match Iface.find_proc iface "add" with
+  | Some p -> Alcotest.(check int) "arity" 2 p.Iface.arity
+  | None -> Alcotest.fail "add not found");
+  check "missing" true (Iface.find_proc iface "mul" = None)
+
+let test_duplicates_rejected () =
+  match Iface.make "dup" [ Iface.proc_sig "p" 0; Iface.proc_sig "p" 1 ] with
+  | _ -> Alcotest.fail "duplicate procs accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_paths () =
+  let iface = Iface.make "fs" [ Iface.proc_sig "read" 1; Iface.proc_sig "write" 2 ] in
+  Alcotest.(check (list string))
+    "mounted paths"
+    [ "/svc/fs/read"; "/svc/fs/write" ]
+    (List.map Path.to_string (Iface.paths ~mount:(Path.of_string "/svc/fs") iface))
+
+let test_variadic_arity () =
+  let iface = Iface.make "v" [ Iface.proc_sig "any" (-1) ] in
+  match Iface.find_proc iface "any" with
+  | Some p ->
+    (* A variadic procedure accepts every argument count. *)
+    let proc = Service.proc p.Iface.name p.Iface.arity (Service.const Value.unit) in
+    check "zero args" true (Service.check_arity proc [] = Ok ());
+    check "three args" true
+      (Service.check_arity proc [ Value.unit; Value.unit; Value.unit ] = Ok ())
+  | None -> Alcotest.fail "missing"
+
+let test_service_arity_error_details () =
+  let proc = Service.proc "two" 2 (Service.const Value.unit) in
+  match Service.check_arity proc [ Value.unit ] with
+  | Error (Service.Bad_arity { proc = "two"; expected = 2; got = 1 }) -> ()
+  | _ -> Alcotest.fail "wrong arity report"
+
+let test_pp () =
+  let iface = Iface.make "m" [ Iface.proc_sig "f" 1 ] in
+  Alcotest.(check string) "pp" "m{f/1}" (Format.asprintf "%a" Iface.pp iface)
+
+let suite =
+  [
+    Alcotest.test_case "make and find" `Quick test_make_and_find;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicates_rejected;
+    Alcotest.test_case "paths" `Quick test_paths;
+    Alcotest.test_case "variadic arity" `Quick test_variadic_arity;
+    Alcotest.test_case "arity error details" `Quick test_service_arity_error_details;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

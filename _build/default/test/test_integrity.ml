@@ -1,0 +1,132 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "system"; "operator"; "untrusted" ] in
+  let universe = Category.universe [ "i" ] in
+  hierarchy, universe
+
+let cls hierarchy universe level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+let test_no_read_down () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "system" [] in
+  let low = cls hierarchy universe "untrusted" [] in
+  check "high reads high" true (Integrity.read_ok ~subject:high ~object_:high);
+  check "low reads high" true (Integrity.read_ok ~subject:low ~object_:high);
+  check "high reads low denied" false (Integrity.read_ok ~subject:high ~object_:low)
+
+let test_no_write_up () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "system" [] in
+  let low = cls hierarchy universe "untrusted" [] in
+  check "high writes low" true (Integrity.write_ok ~subject:high ~object_:low);
+  check "low writes high denied" false (Integrity.write_ok ~subject:low ~object_:high)
+
+let test_check_reasons () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "system" [] in
+  let low = cls hierarchy universe "untrusted" [] in
+  (match Integrity.check ~subject:high ~object_:low Access_mode.Read with
+  | Error Integrity.Read_down -> ()
+  | _ -> Alcotest.fail "expected Read_down");
+  match Integrity.check ~subject:low ~object_:high Access_mode.Write with
+  | Error Integrity.Write_up -> ()
+  | _ -> Alcotest.fail "expected Write_up"
+
+let test_duality_with_mac () =
+  (* Integrity is exactly MAC with subject and object swapped. *)
+  let hierarchy, universe = std () in
+  let classes =
+    [
+      cls hierarchy universe "system" [ "i" ];
+      cls hierarchy universe "operator" [];
+      cls hierarchy universe "untrusted" [ "i" ];
+    ]
+  in
+  List.iter
+    (fun subject ->
+      List.iter
+        (fun object_ ->
+          check "read duality" true
+            (Integrity.read_ok ~subject ~object_ = Mac.write_ok ~subject ~object_);
+          check "write duality" true
+            (Integrity.write_ok ~subject ~object_ = Mac.read_ok ~subject ~object_))
+        classes)
+    classes
+
+let monitor_setup () =
+  let hierarchy, universe = std () in
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  Principal.Db.add_individual db alice;
+  hierarchy, universe, db, alice
+
+let open_acl =
+  Acl.of_entries
+    [ Acl.allow Acl.Everyone [ Access_mode.Read; Access_mode.Write; Access_mode.Write_append ] ]
+
+let test_monitor_applies_integrity () =
+  let hierarchy, universe, db, alice = monitor_setup () in
+  let monitor = Reference_monitor.create db in
+  (* Confidentiality flat (same class everywhere) so only Biba acts. *)
+  let conf = Security_class.bottom hierarchy universe in
+  let i_high = cls hierarchy universe "system" [] in
+  let i_low = cls hierarchy universe "untrusted" [] in
+  let subject = Subject.make ~integrity:i_low alice conf in
+  let high_obj = Meta.make ~owner:alice ~acl:open_acl ~integrity:i_high conf in
+  let low_obj = Meta.make ~owner:alice ~acl:open_acl ~integrity:i_low conf in
+  (* A low-integrity subject cannot taint a high-integrity object. *)
+  (match Reference_monitor.decide monitor ~subject ~meta:high_obj ~mode:Access_mode.Write with
+  | Decision.Denied (Decision.Integrity_denied Integrity.Write_up) -> ()
+  | other -> Alcotest.failf "expected write-up denial, got %s" (Format.asprintf "%a" Decision.pp other));
+  (* It can read it (good data flows down). *)
+  check "read high-integrity ok" true
+    (Decision.is_granted (Reference_monitor.decide monitor ~subject ~meta:high_obj ~mode:Access_mode.Read));
+  (* A high-integrity subject does not consume low-integrity input. *)
+  let high_subject = Subject.make ~integrity:i_high alice conf in
+  (match Reference_monitor.decide monitor ~subject:high_subject ~meta:low_obj ~mode:Access_mode.Read with
+  | Decision.Denied (Decision.Integrity_denied Integrity.Read_down) -> ()
+  | _ -> Alcotest.fail "expected read-down denial");
+  check "write low from high ok" true
+    (Decision.is_granted
+       (Reference_monitor.decide monitor ~subject:high_subject ~meta:low_obj ~mode:Access_mode.Write))
+
+let test_unlabelled_exempt () =
+  let hierarchy, universe, db, alice = monitor_setup () in
+  let monitor = Reference_monitor.create db in
+  let conf = Security_class.bottom hierarchy universe in
+  let i_high = cls hierarchy universe "system" [] in
+  (* Object labelled, subject not: exempt. *)
+  let subject = Subject.make alice conf in
+  let labelled = Meta.make ~owner:alice ~acl:open_acl ~integrity:i_high conf in
+  check "unlabelled subject exempt" true
+    (Decision.is_granted (Reference_monitor.decide monitor ~subject ~meta:labelled ~mode:Access_mode.Write));
+  (* Subject labelled, object not: exempt too. *)
+  let labelled_subject = Subject.make ~integrity:i_high alice conf in
+  let plain = Meta.make ~owner:alice ~acl:open_acl conf in
+  check "unlabelled object exempt" true
+    (Decision.is_granted
+       (Reference_monitor.decide monitor ~subject:labelled_subject ~meta:plain ~mode:Access_mode.Read))
+
+let test_policy_toggle () =
+  let hierarchy, universe, db, alice = monitor_setup () in
+  let monitor = Reference_monitor.create ~policy:Policy.no_integrity db in
+  let conf = Security_class.bottom hierarchy universe in
+  let subject = Subject.make ~integrity:(cls hierarchy universe "untrusted" []) alice conf in
+  let meta = Meta.make ~owner:alice ~acl:open_acl ~integrity:(cls hierarchy universe "system" []) conf in
+  check "integrity off admits write-up" true
+    (Decision.is_granted (Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Write))
+
+let suite =
+  [
+    Alcotest.test_case "no read-down" `Quick test_no_read_down;
+    Alcotest.test_case "no write-up" `Quick test_no_write_up;
+    Alcotest.test_case "denial reasons" `Quick test_check_reasons;
+    Alcotest.test_case "duality with MAC" `Quick test_duality_with_mac;
+    Alcotest.test_case "monitor applies Biba" `Quick test_monitor_applies_integrity;
+    Alcotest.test_case "unlabelled exempt" `Quick test_unlabelled_exempt;
+    Alcotest.test_case "policy toggle" `Quick test_policy_toggle;
+  ]

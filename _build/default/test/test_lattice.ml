@@ -1,0 +1,204 @@
+(* Levels, categories and security classes: the lattice of section
+   2.2. *)
+
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "local"; "organization"; "others" ] in
+  let universe = Category.universe [ "myself"; "d1"; "d2"; "outside" ] in
+  hierarchy, universe
+
+let cls hierarchy universe level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+(* {1 Levels} *)
+
+let test_level_order () =
+  let hierarchy, _ = std () in
+  let local = Level.of_name_exn hierarchy "local" in
+  let org = Level.of_name_exn hierarchy "organization" in
+  let others = Level.of_name_exn hierarchy "others" in
+  check "local > org" true (Level.compare local org > 0);
+  check "org > others" true (Level.compare org others > 0);
+  check "local dominates others" true (Level.dominates local others);
+  check "others !dominates org" false (Level.dominates others org);
+  check "reflexive" true (Level.dominates org org);
+  Alcotest.(check int) "others rank" 0 (Level.rank others);
+  Alcotest.(check int) "local rank" 2 (Level.rank local)
+
+let test_level_top_bottom () =
+  let hierarchy, _ = std () in
+  Alcotest.(check string) "top" "local" (Level.name (Level.top hierarchy));
+  Alcotest.(check string) "bottom" "others" (Level.name (Level.bottom hierarchy))
+
+let test_level_lookup () =
+  let hierarchy, _ = std () in
+  check "unknown" true (Level.of_name hierarchy "nonesuch" = None);
+  Alcotest.check_raises "exn" (Invalid_argument "Level.of_name_exn: unknown level \"x\"")
+    (fun () -> ignore (Level.of_name_exn hierarchy "x"))
+
+let test_level_cross_hierarchy () =
+  let h1 = Level.hierarchy [ "a"; "b" ] in
+  let h2 = Level.hierarchy [ "a"; "b" ] in
+  match Level.compare (Level.top h1) (Level.top h2) with
+  | _ -> Alcotest.fail "cross-hierarchy compare should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_level_duplicates_rejected () =
+  match Level.hierarchy [ "a"; "a" ] with
+  | _ -> Alcotest.fail "duplicates accepted"
+  | exception Invalid_argument _ -> ()
+
+(* {1 Categories} *)
+
+let test_category_subset () =
+  let _, universe = std () in
+  let d1 = Category.of_names universe [ "d1" ] in
+  let d12 = Category.of_names universe [ "d1"; "d2" ] in
+  check "d1 <= d12" true (Category.subset d1 d12);
+  check "d12 !<= d1" false (Category.subset d12 d1);
+  check "empty <= all" true (Category.subset (Category.empty universe) (Category.full universe));
+  check "reflexive" true (Category.subset d1 d1)
+
+let test_category_ops () =
+  let _, universe = std () in
+  let d1 = Category.of_names universe [ "d1" ] in
+  let d2 = Category.of_names universe [ "d2" ] in
+  Alcotest.(check (list string)) "union" [ "d1"; "d2" ] (Category.names (Category.union d1 d2));
+  Alcotest.(check int) "inter" 0 (Category.cardinal (Category.inter d1 d2));
+  check "mem" true (Category.mem d1 "d1");
+  check "not mem" false (Category.mem d1 "d2");
+  check "mem unknown name" false (Category.mem d1 "zzz")
+
+let test_category_unknown_rejected () =
+  let _, universe = std () in
+  match Category.of_names universe [ "nonesuch" ] with
+  | _ -> Alcotest.fail "unknown category accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_category_full_cardinality () =
+  let _, universe = std () in
+  Alcotest.(check int) "full" 4 (Category.cardinal (Category.full universe));
+  Alcotest.(check int) "universe size" 4 (Category.universe_size universe)
+
+(* {1 Security classes} *)
+
+let test_dominates () =
+  let hierarchy, universe = std () in
+  let user = cls hierarchy universe "local" [ "myself"; "d1"; "d2"; "outside" ] in
+  let d1 = cls hierarchy universe "organization" [ "d1" ] in
+  let d2 = cls hierarchy universe "organization" [ "d2" ] in
+  let merged = cls hierarchy universe "organization" [ "d1"; "d2" ] in
+  check "user >= d1" true (Security_class.dominates user d1);
+  check "d1 !>= user" false (Security_class.dominates d1 user);
+  check "d1 || d2" false (Security_class.comparable d1 d2);
+  check "merged >= d1" true (Security_class.dominates merged d1);
+  check "merged >= d2" true (Security_class.dominates merged d2);
+  check "reflexive" true (Security_class.dominates d1 d1)
+
+let test_level_vs_category_tradeoff () =
+  let hierarchy, universe = std () in
+  (* Higher level but fewer categories: incomparable. *)
+  let high_narrow = cls hierarchy universe "local" [ "d1" ] in
+  let low_wide = cls hierarchy universe "others" [ "d1"; "d2" ] in
+  check "incomparable" false (Security_class.comparable high_narrow low_wide)
+
+let test_join_meet () =
+  let hierarchy, universe = std () in
+  let d1 = cls hierarchy universe "organization" [ "d1" ] in
+  let d2 = cls hierarchy universe "others" [ "d2" ] in
+  let j = Security_class.join d1 d2 in
+  let m = Security_class.meet d1 d2 in
+  check "join dominates both" true
+    (Security_class.dominates j d1 && Security_class.dominates j d2);
+  check "both dominate meet" true
+    (Security_class.dominates d1 m && Security_class.dominates d2 m);
+  Alcotest.(check string) "join level" "organization" (Level.name (Security_class.level j));
+  Alcotest.(check string) "meet level" "others" (Level.name (Security_class.level m));
+  Alcotest.(check int) "meet cats" 0 (Category.cardinal (Security_class.categories m))
+
+let test_top_bottom_class () =
+  let hierarchy, universe = std () in
+  let top = Security_class.top hierarchy universe in
+  let bottom = Security_class.bottom hierarchy universe in
+  let d1 = cls hierarchy universe "organization" [ "d1" ] in
+  check "top >= d1" true (Security_class.dominates top d1);
+  check "d1 >= bottom" true (Security_class.dominates d1 bottom)
+
+(* Lattice laws as properties. *)
+
+let arb_class =
+  let hierarchy, universe = std () in
+  let gen =
+    QCheck.Gen.(
+      let* level = oneofl (Level.names hierarchy) in
+      let* keep = list_size (return 4) bool in
+      let cats =
+        List.filteri (fun i _ -> List.nth keep i) (Category.universe_names universe)
+      in
+      return (cls hierarchy universe level cats))
+  in
+  QCheck.make gen
+
+let prop_dominance_antisymmetric =
+  QCheck.Test.make ~name:"dominance antisymmetric" ~count:300
+    (QCheck.pair arb_class arb_class) (fun (a, b) ->
+      if Security_class.dominates a b && Security_class.dominates b a then
+        Security_class.equal a b
+      else true)
+
+let prop_dominance_transitive =
+  QCheck.Test.make ~name:"dominance transitive" ~count:300
+    (QCheck.triple arb_class arb_class arb_class) (fun (a, b, c) ->
+      if Security_class.dominates a b && Security_class.dominates b c then
+        Security_class.dominates a c
+      else true)
+
+let prop_join_is_lub =
+  QCheck.Test.make ~name:"join is an upper bound and least" ~count:300
+    (QCheck.triple arb_class arb_class arb_class) (fun (a, b, other) ->
+      let j = Security_class.join a b in
+      Security_class.dominates j a
+      && Security_class.dominates j b
+      && if Security_class.dominates other a && Security_class.dominates other b then
+           Security_class.dominates other j
+         else true)
+
+let prop_meet_is_glb =
+  QCheck.Test.make ~name:"meet is a lower bound and greatest" ~count:300
+    (QCheck.triple arb_class arb_class arb_class) (fun (a, b, other) ->
+      let m = Security_class.meet a b in
+      Security_class.dominates a m
+      && Security_class.dominates b m
+      && if Security_class.dominates a other && Security_class.dominates b other then
+           Security_class.dominates m other
+         else true)
+
+let prop_join_meet_idempotent =
+  QCheck.Test.make ~name:"join/meet idempotent" ~count:100 arb_class (fun a ->
+      Security_class.equal (Security_class.join a a) a
+      && Security_class.equal (Security_class.meet a a) a)
+
+let suite =
+  [
+    Alcotest.test_case "level order" `Quick test_level_order;
+    Alcotest.test_case "level top/bottom" `Quick test_level_top_bottom;
+    Alcotest.test_case "level lookup" `Quick test_level_lookup;
+    Alcotest.test_case "level cross-hierarchy" `Quick test_level_cross_hierarchy;
+    Alcotest.test_case "level duplicates" `Quick test_level_duplicates_rejected;
+    Alcotest.test_case "category subset" `Quick test_category_subset;
+    Alcotest.test_case "category ops" `Quick test_category_ops;
+    Alcotest.test_case "category unknown" `Quick test_category_unknown_rejected;
+    Alcotest.test_case "category full" `Quick test_category_full_cardinality;
+    Alcotest.test_case "class dominance" `Quick test_dominates;
+    Alcotest.test_case "level/category tradeoff" `Quick test_level_vs_category_tradeoff;
+    Alcotest.test_case "join/meet" `Quick test_join_meet;
+    Alcotest.test_case "top/bottom class" `Quick test_top_bottom_class;
+    QCheck_alcotest.to_alcotest prop_dominance_antisymmetric;
+    QCheck_alcotest.to_alcotest prop_dominance_transitive;
+    QCheck_alcotest.to_alcotest prop_join_is_lub;
+    QCheck_alcotest.to_alcotest prop_meet_is_glb;
+    QCheck_alcotest.to_alcotest prop_join_meet_idempotent;
+  ]

@@ -1,0 +1,277 @@
+open Exsec_core
+open Exsec_extsys
+
+let check = Alcotest.(check bool)
+
+let boot () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  let eve = Principal.individual "eve" in
+  List.iter (Principal.Db.add_individual db) [ admin; alice; eve ];
+  let hierarchy = Level.hierarchy [ "local"; "org"; "outside" ] in
+  let universe = Category.universe [ "d1" ] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  (* One world-callable service and one extensible event. *)
+  let admin_sub = Kernel.admin_subject kernel in
+  let meta () = Kernel.default_meta kernel ~owner:admin () in
+  (match Kernel.install_proc kernel ~subject:admin_sub (Path.of_string "/svc/ping") ~meta:(meta ())
+           (Service.proc "ping" 0 (Service.const (Value.str "pong")))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup ping: %s" (Service.error_to_string e));
+  (* The event grants Extend to alice only. *)
+  let event_meta =
+    Meta.make ~owner:admin
+      ~acl:
+        (Acl.of_entries
+           [
+             Acl.allow_all (Acl.Individual admin);
+             Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Execute ];
+             Acl.allow (Acl.Individual alice) [ Access_mode.Extend ];
+           ])
+      (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  (match Kernel.install_event kernel ~subject:admin_sub (Path.of_string "/svc/hook") ~meta:event_meta with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup hook: %s" (Service.error_to_string e));
+  kernel, admin, alice, eve
+
+let cls kernel level cats =
+  Security_class.make
+    (Level.of_name_exn (Kernel.hierarchy kernel) level)
+    (Category.of_names (Kernel.universe kernel) cats)
+
+let ok label = function
+  | Ok value -> value
+  | Error e -> Alcotest.failf "%s: %s" label (Format.asprintf "%a" Linker.pp_link_error e)
+
+let test_successful_link () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" [ "d1" ]) in
+  let ext =
+    Extension.make ~name:"good" ~author:alice
+      ~imports:[ Path.of_string "/svc/ping" ]
+      ~provides:[ Extension.provided "hello" 0 (Service.const (Value.str "hi")) ]
+      ~extends:[ Extension.extends (Path.of_string "/svc/hook") (Service.const Value.unit) ]
+      ()
+  in
+  let linked = ok "link" (Linker.link kernel ~subject:alice_sub ext) in
+  Alcotest.(check (list string)) "loaded" [ "good" ] (Kernel.loaded_extensions kernel);
+  check "import listed" true (List.exists (Path.equal (Path.of_string "/svc/ping")) (Linker.Linked.imports linked));
+  check "provides installed" true (Namespace.mem (Kernel.namespace kernel) (Path.of_string "/ext/good/hello"));
+  Alcotest.(check int) "handler registered" 1 (Dispatcher.handler_count (Kernel.dispatcher kernel));
+  (* The provided procedure is world-callable. *)
+  (match Kernel.call kernel ~subject:alice_sub ~caller:"t" (Path.of_string "/ext/good/hello") [] with
+  | Ok (Value.Str "hi") -> ()
+  | _ -> Alcotest.fail "provided proc broken")
+
+let test_import_denied () =
+  let kernel, admin, alice, _ = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (* Install a service alice may not execute. *)
+  let closed_meta =
+    Meta.make ~owner:admin
+      ~acl:(Acl.of_entries [ Acl.allow_all (Acl.Individual admin); Acl.allow Acl.Everyone [ Access_mode.List ] ])
+      (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  (match Kernel.install_proc kernel ~subject:admin_sub (Path.of_string "/svc/closed") ~meta:closed_meta (Service.proc "closed" 0 (Service.const Value.unit)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup: %s" (Service.error_to_string e));
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext = Extension.make ~name:"nosy" ~author:alice ~imports:[ Path.of_string "/svc/closed" ] () in
+  (match Linker.link kernel ~subject:alice_sub ext with
+  | Error (Linker.Import_denied { import; _ }) ->
+    Alcotest.(check string) "which import" "/svc/closed" (Path.to_string import)
+  | _ -> Alcotest.fail "import should be denied");
+  check "nothing loaded" true (Kernel.loaded_extensions kernel = []);
+  check "no directory left" false (Namespace.mem (Kernel.namespace kernel) (Path.of_string "/ext/nosy"))
+
+let test_extend_denied () =
+  let kernel, _, _, eve = boot () in
+  let eve_sub = Subject.make eve (cls kernel "local" []) in
+  let ext =
+    Extension.make ~name:"sneaky" ~author:eve
+      ~extends:[ Extension.extends (Path.of_string "/svc/hook") (Service.const Value.unit) ]
+      ()
+  in
+  (match Linker.link kernel ~subject:eve_sub ext with
+  | Error (Linker.Extend_denied _) -> ()
+  | _ -> Alcotest.fail "extend should be denied");
+  Alcotest.(check int) "no handler" 0 (Dispatcher.handler_count (Kernel.dispatcher kernel))
+
+let test_extend_requires_event () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  (* /svc/ping is a plain procedure, not an event. *)
+  let ext =
+    Extension.make ~name:"confused" ~author:alice
+      ~extends:[ Extension.extends (Path.of_string "/svc/ping") (Service.const Value.unit) ]
+      ()
+  in
+  match Linker.link kernel ~subject:alice_sub ext with
+  | Error (Linker.Extend_denied _) -> ()
+  | _ -> Alcotest.fail "extending a non-event should fail"
+
+let test_static_class_caps_link_checks () =
+  let kernel, admin, alice, _ = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (* A high-classified service: callable in principle by local
+     subjects. *)
+  let high_meta =
+    Meta.make ~owner:admin
+      ~acl:(Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Execute ] ])
+      (cls kernel "local" [])
+  in
+  (match Kernel.install_proc kernel ~subject:admin_sub (Path.of_string "/svc/sensitive") ~meta:high_meta (Service.proc "s" 0 (Service.const Value.unit)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup: %s" (Service.error_to_string e));
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  (* Unpinned: linking succeeds. *)
+  let free = Extension.make ~name:"free" ~author:alice ~imports:[ Path.of_string "/svc/sensitive" ] () in
+  let _ = ok "free link" (Linker.link kernel ~subject:alice_sub free) in
+  (* Pinned at outside: the same import is refused at link time. *)
+  let pinned =
+    Extension.make ~name:"pinned" ~author:alice ~static_class:(cls kernel "outside" [])
+      ~imports:[ Path.of_string "/svc/sensitive" ] ()
+  in
+  match Linker.link kernel ~subject:alice_sub pinned with
+  | Error (Linker.Import_denied _) -> ()
+  | _ -> Alcotest.fail "pinned import should be denied"
+
+let test_linked_call_only_imports () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext = Extension.make ~name:"narrow" ~author:alice ~imports:[ Path.of_string "/svc/ping" ] () in
+  let linked = ok "link" (Linker.link kernel ~subject:alice_sub ext) in
+  (match Linker.Linked.call linked ~subject:alice_sub (Path.of_string "/svc/ping") [] with
+  | Ok (Value.Str "pong") -> ()
+  | _ -> Alcotest.fail "import call failed");
+  (* /svc/hook exists and is world-executable, but it is not in the
+     import table. *)
+  match Linker.Linked.call linked ~subject:alice_sub (Path.of_string "/svc/hook") [] with
+  | Error (Service.Unresolved _) -> ()
+  | _ -> Alcotest.fail "called outside the import table"
+
+let test_already_loaded () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext = Extension.make ~name:"dup" ~author:alice () in
+  let _ = ok "first" (Linker.link kernel ~subject:alice_sub ext) in
+  match Linker.link kernel ~subject:alice_sub ext with
+  | Error (Linker.Already_loaded "dup") -> ()
+  | _ -> Alcotest.fail "expected Already_loaded"
+
+let test_init_failure_rolls_back () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext =
+    Extension.make ~name:"broken" ~author:alice
+      ~provides:[ Extension.provided "stub" 0 (Service.const Value.unit) ]
+      ~extends:[ Extension.extends (Path.of_string "/svc/hook") (Service.const Value.unit) ]
+      ~init:(fun _ctx -> Error (Service.Ext_failure "boom"))
+      ()
+  in
+  (match Linker.link kernel ~subject:alice_sub ext with
+  | Error (Linker.Init_failed (Service.Ext_failure "boom")) -> ()
+  | _ -> Alcotest.fail "expected Init_failed");
+  check "no leftovers" false (Namespace.mem (Kernel.namespace kernel) (Path.of_string "/ext/broken"));
+  Alcotest.(check int) "no handlers" 0 (Dispatcher.handler_count (Kernel.dispatcher kernel));
+  check "not loaded" true (Kernel.loaded_extensions kernel = [])
+
+let test_unload () =
+  let kernel, _, alice, _ = boot () in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext =
+    Extension.make ~name:"temp" ~author:alice
+      ~provides:[ Extension.provided "stub" 0 (Service.const Value.unit) ]
+      ~extends:[ Extension.extends (Path.of_string "/svc/hook") (Service.const Value.unit) ]
+      ()
+  in
+  let _ = ok "link" (Linker.link kernel ~subject:alice_sub ext) in
+  (match Linker.unload kernel ~subject:alice_sub "temp" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unload: %s" (Service.error_to_string e));
+  check "dir removed" false (Namespace.mem (Kernel.namespace kernel) (Path.of_string "/ext/temp"));
+  Alcotest.(check int) "handlers removed" 0 (Dispatcher.handler_count (Kernel.dispatcher kernel));
+  check "registry cleaned" true (Kernel.loaded_extensions kernel = []);
+  match Linker.unload kernel ~subject:alice_sub "temp" with
+  | Error (Service.Unresolved _) -> ()
+  | _ -> Alcotest.fail "double unload should fail"
+
+let suite =
+  [
+    Alcotest.test_case "successful link" `Quick test_successful_link;
+    Alcotest.test_case "import denied" `Quick test_import_denied;
+    Alcotest.test_case "extend denied" `Quick test_extend_denied;
+    Alcotest.test_case "extend requires event" `Quick test_extend_requires_event;
+    Alcotest.test_case "static class caps link" `Quick test_static_class_caps_link_checks;
+    Alcotest.test_case "calls limited to imports" `Quick test_linked_call_only_imports;
+    Alcotest.test_case "already loaded" `Quick test_already_loaded;
+    Alcotest.test_case "init failure rolls back" `Quick test_init_failure_rolls_back;
+    Alcotest.test_case "unload" `Quick test_unload;
+  ]
+
+let test_domain_imports () =
+  let kernel, _, alice, _ = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (* A small interface with two procedures, grouped into a domain. *)
+  let meta () = Kernel.default_meta kernel ~owner:(Subject.principal admin_sub) () in
+  let mount = Path.of_string "/svc/math" in
+  let iface =
+    Iface.make "math" [ Iface.proc_sig "add" 2; Iface.proc_sig "neg" 1 ]
+  in
+  let impl_of = function
+    | "add" ->
+      fun _ctx args ->
+        (match args with
+        | [ a; b ] -> Ok (Value.int (Value.to_int_exn a + Value.to_int_exn b))
+        | _ -> Error (Service.Bad_argument "add"))
+    | _ ->
+      fun _ctx args ->
+        (match args with
+        | [ a ] -> Ok (Value.int (-Value.to_int_exn a))
+        | _ -> Error (Service.Bad_argument "neg"))
+  in
+  (match Kernel.install_iface kernel ~subject:admin_sub ~mount ~meta:(fun _ -> meta ()) iface impl_of with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install: %s" (Service.error_to_string e));
+  let math_domain = Domain.make "math" [ mount ] in
+  let alice_sub = Subject.make alice (cls kernel "local" []) in
+  let ext = Extension.make ~name:"calc" ~author:alice ~import_domains:[ math_domain ] () in
+  let linked = ok "link" (Linker.link kernel ~subject:alice_sub ext) in
+  (* Both procedures of the domain are in the import table. *)
+  Alcotest.(check int) "two imports" 2 (List.length (Linker.Linked.imports linked));
+  (match Linker.Linked.call linked ~subject:alice_sub (Path.child mount "add") [ Value.int 2; Value.int 40 ] with
+  | Ok (Value.Int 42) -> ()
+  | _ -> Alcotest.fail "domain import not callable");
+  (* A domain containing a procedure the subject cannot execute
+     refuses the whole link. *)
+  let closed_meta =
+    Meta.make ~owner:(Subject.principal admin_sub)
+      ~acl:(Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List ] ])
+      (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  (match Kernel.install_proc kernel ~subject:admin_sub (Path.child mount "secret") ~meta:closed_meta (Service.proc "secret" 0 (Service.const Value.unit)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install secret: %s" (Service.error_to_string e));
+  let ext2 = Extension.make ~name:"calc2" ~author:alice ~import_domains:[ math_domain ] () in
+  match Linker.link kernel ~subject:alice_sub ext2 with
+  | Error (Linker.Import_denied { import; _ }) ->
+    Alcotest.(check string) "denied on secret" "/svc/math/secret" (Path.to_string import)
+  | _ -> Alcotest.fail "link should fail on the unreadable member"
+
+let test_domain_union () =
+  let d1 = Domain.make "a" [ Path.of_string "/svc/x" ] in
+  let d2 = Domain.make "b" [ Path.of_string "/svc/y"; Path.of_string "/svc/x" ] in
+  let u = Domain.union "ab" [ d1; d2 ] in
+  Alcotest.(check int) "deduped" 2 (List.length (Domain.interfaces u));
+  check "member under mount" true (Domain.member u (Path.of_string "/svc/x/proc"));
+  check "not member" false (Domain.member u (Path.of_string "/svc/z"))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "domain imports" `Quick test_domain_imports;
+      Alcotest.test_case "domain union" `Quick test_domain_union;
+    ]

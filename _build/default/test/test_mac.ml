@@ -1,0 +1,129 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "high"; "mid"; "low" ] in
+  let universe = Category.universe [ "a"; "b" ] in
+  hierarchy, universe
+
+let cls hierarchy universe level cats =
+  Security_class.make (Level.of_name_exn hierarchy level) (Category.of_names universe cats)
+
+let test_simple_security () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "high" [ "a" ] in
+  let low = cls hierarchy universe "low" [] in
+  check "read down ok" true (Mac.read_ok ~subject:high ~object_:low);
+  check "read up denied" false (Mac.read_ok ~subject:low ~object_:high);
+  check "read same ok" true (Mac.read_ok ~subject:high ~object_:high)
+
+let test_star_property () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "high" [ "a" ] in
+  let low = cls hierarchy universe "low" [] in
+  check "write up ok" true (Mac.write_ok ~subject:low ~object_:high);
+  check "write down denied" false (Mac.write_ok ~subject:high ~object_:low)
+
+let test_categories_gate_reads () =
+  let hierarchy, universe = std () in
+  let sub = cls hierarchy universe "high" [ "a" ] in
+  let obj = cls hierarchy universe "low" [ "b" ] in
+  (* Higher level but missing category b. *)
+  check "category blocks read" false (Mac.read_ok ~subject:sub ~object_:obj)
+
+let test_liberal_vs_strict_overwrite () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "high" [] in
+  let low = cls hierarchy universe "low" [] in
+  let open Access_mode in
+  check "liberal write up" true (Mac.permits ~rule:Mac.Liberal ~subject:low ~object_:high Write);
+  check "strict write up blocked" false
+    (Mac.permits ~rule:Mac.Strict ~subject:low ~object_:high Write);
+  check "strict append up ok" true
+    (Mac.permits ~rule:Mac.Strict ~subject:low ~object_:high Write_append);
+  check "strict write same ok" true
+    (Mac.permits ~rule:Mac.Strict ~subject:high ~object_:high Write);
+  check "strict delete up blocked" false
+    (Mac.permits ~rule:Mac.Strict ~subject:low ~object_:high Delete)
+
+let test_denial_reasons () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "high" [] in
+  let low = cls hierarchy universe "low" [] in
+  (match Mac.check ~rule:Mac.Strict ~subject:low ~object_:high Access_mode.Read with
+  | Error Mac.Read_up -> ()
+  | _ -> Alcotest.fail "expected Read_up");
+  (match Mac.check ~rule:Mac.Strict ~subject:high ~object_:low Access_mode.Write with
+  | Error Mac.Write_down -> ()
+  | _ -> Alcotest.fail "expected Write_down");
+  match Mac.check ~rule:Mac.Strict ~subject:low ~object_:high Access_mode.Write with
+  | Error Mac.Blind_overwrite -> ()
+  | _ -> Alcotest.fail "expected Blind_overwrite"
+
+let test_extend_is_read_ruled () =
+  let hierarchy, universe = std () in
+  let high = cls hierarchy universe "high" [] in
+  let low = cls hierarchy universe "low" [] in
+  (* Extending follows the read rule: the extension must be able to
+     see the service it specializes; a low extension cannot even name
+     a high service.  The flow back to callers is governed by the
+     dispatcher's class-indexed handler selection, not here. *)
+  check "extend down ok" true
+    (Mac.permits ~rule:Mac.Strict ~subject:high ~object_:low Access_mode.Extend);
+  check "extend up denied" false
+    (Mac.permits ~rule:Mac.Strict ~subject:low ~object_:high Access_mode.Extend)
+
+(* Information-flow property: a read and a write by the same subject
+   can only move information from a dominated class to a dominating
+   one (Denning's soundness condition). *)
+let prop_no_downward_flow =
+  let hierarchy, universe = std () in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let cls_gen =
+          let* level = oneofl (Level.names hierarchy) in
+          let* a = bool in
+          let* b = bool in
+          let cats = List.concat [ (if a then [ "a" ] else []); (if b then [ "b" ] else []) ] in
+          return (cls hierarchy universe level cats)
+        in
+        triple cls_gen cls_gen cls_gen)
+  in
+  QCheck.Test.make ~name:"no downward flow via read+write" ~count:500 arb
+    (fun (subject, source, sink) ->
+      let can_read = Mac.read_ok ~subject ~object_:source in
+      let can_write = Mac.write_ok ~subject ~object_:sink in
+      if can_read && can_write then Security_class.dominates sink source else true)
+
+let prop_strict_subsumed_by_liberal =
+  let hierarchy, universe = std () in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let cls_gen =
+          let* level = oneofl (Level.names hierarchy) in
+          let* a = bool in
+          let cats = if a then [ "a" ] else [] in
+          return (cls hierarchy universe level cats)
+        in
+        triple cls_gen cls_gen (oneofl Access_mode.all))
+  in
+  QCheck.Test.make ~name:"strict permits implies liberal permits" ~count:500 arb
+    (fun (subject, object_, mode) ->
+      if Mac.permits ~rule:Mac.Strict ~subject ~object_ mode then
+        Mac.permits ~rule:Mac.Liberal ~subject ~object_ mode
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "simple security" `Quick test_simple_security;
+    Alcotest.test_case "star property" `Quick test_star_property;
+    Alcotest.test_case "categories gate reads" `Quick test_categories_gate_reads;
+    Alcotest.test_case "liberal vs strict" `Quick test_liberal_vs_strict_overwrite;
+    Alcotest.test_case "denial reasons" `Quick test_denial_reasons;
+    Alcotest.test_case "extend under read rule" `Quick test_extend_is_read_ruled;
+    QCheck_alcotest.to_alcotest prop_no_downward_flow;
+    QCheck_alcotest.to_alcotest prop_strict_subsumed_by_liberal;
+  ]

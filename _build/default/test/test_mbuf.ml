@@ -1,0 +1,105 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+let check = Alcotest.(check bool)
+
+let test_alloc_free () =
+  let pool = Mbuf.create ~pool_limit:2 () in
+  let h1 = Result.get_ok (Mbuf.alloc pool) in
+  let h2 = Result.get_ok (Mbuf.alloc pool) in
+  check "distinct" true (h1 <> h2);
+  Alcotest.(check int) "live" 2 (Mbuf.live pool);
+  (match Mbuf.alloc pool with
+  | Error Mbuf.Pool_exhausted -> ()
+  | _ -> Alcotest.fail "expected exhaustion");
+  (match Mbuf.free pool h1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "free failed");
+  Alcotest.(check int) "live after free" 1 (Mbuf.live pool);
+  (* Handles are not reused. *)
+  (match Mbuf.free pool h1 with
+  | Error (Mbuf.Bad_handle _) -> ()
+  | _ -> Alcotest.fail "double free accepted");
+  Alcotest.(check int) "allocated total" 2 (Mbuf.allocated_total pool)
+
+let test_write_read_reset () =
+  let pool = Mbuf.create ~buffer_capacity:8 () in
+  let h = Result.get_ok (Mbuf.alloc pool) in
+  let wrote = Result.get_ok (Mbuf.write pool h (Bytes.of_string "hello")) in
+  Alcotest.(check int) "wrote" 5 wrote;
+  Alcotest.(check string) "read" "hello" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
+  (* Appending past capacity takes what fits. *)
+  let wrote2 = Result.get_ok (Mbuf.write pool h (Bytes.of_string "worldly")) in
+  Alcotest.(check int) "partial" 3 wrote2;
+  Alcotest.(check string) "capped" "hellowor" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
+  (* A full buffer overflows. *)
+  (match Mbuf.write pool h (Bytes.of_string "x") with
+  | Error (Mbuf.Overflow _) -> ()
+  | _ -> Alcotest.fail "expected overflow");
+  (match Mbuf.reset pool h with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "reset failed");
+  Alcotest.(check string) "empty" "" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)))
+
+let boot_with_pool () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  List.iter (Principal.Db.add_individual db) [ admin; alice ];
+  let kernel =
+    Kernel.boot ~db ~admin
+      ~hierarchy:(Level.hierarchy [ "hi"; "lo" ])
+      ~universe:(Category.universe [])
+      ()
+  in
+  let pool = Mbuf.create ~buffer_capacity:16 () in
+  (match Mbuf.install pool kernel ~subject:(Kernel.admin_subject kernel) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install: %s" (Service.error_to_string e));
+  kernel, pool, alice
+
+let call kernel subject name args =
+  Kernel.call kernel ~subject ~caller:"test" (Path.of_string ("/svc/mbuf/" ^ name)) args
+
+let test_service_roundtrip () =
+  let kernel, _, alice = boot_with_pool () in
+  let subject =
+    Subject.make alice (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  let handle = Value.to_int_exn (Result.get_ok (call kernel subject "alloc" [])) in
+  (match call kernel subject "write" [ Value.int handle; Value.blob (Bytes.of_string "abc") ] with
+  | Ok (Value.Int 3) -> ()
+  | _ -> Alcotest.fail "write via service");
+  (match call kernel subject "read" [ Value.int handle ] with
+  | Ok (Value.Blob b) -> Alcotest.(check string) "contents" "abc" (Bytes.to_string b)
+  | _ -> Alcotest.fail "read via service");
+  (match call kernel subject "stats" [] with
+  | Ok (Value.List [ Value.Int allocated; Value.Int live; Value.Int capacity ]) ->
+    Alcotest.(check int) "allocated" 1 allocated;
+    Alcotest.(check int) "live" 1 live;
+    Alcotest.(check int) "capacity" 16 capacity
+  | _ -> Alcotest.fail "stats");
+  match call kernel subject "free" [ Value.int handle ] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "free via service"
+
+let test_service_bad_args () =
+  let kernel, _, alice = boot_with_pool () in
+  let subject =
+    Subject.make alice (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
+  in
+  (match call kernel subject "free" [ Value.str "nope" ] with
+  | Error (Service.Bad_argument _) -> ()
+  | _ -> Alcotest.fail "expected bad argument");
+  match call kernel subject "read" [ Value.int 999 ] with
+  | Error (Service.Bad_argument _) -> ()
+  | _ -> Alcotest.fail "expected bad handle"
+
+let suite =
+  [
+    Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+    Alcotest.test_case "write/read/reset" `Quick test_write_read_reset;
+    Alcotest.test_case "service roundtrip" `Quick test_service_roundtrip;
+    Alcotest.test_case "service bad args" `Quick test_service_bad_args;
+  ]

@@ -1,0 +1,207 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+let check = Alcotest.(check bool)
+
+let boot () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  let bob = Principal.individual "bob" in
+  List.iter (Principal.Db.add_individual db) [ admin; alice; bob ];
+  let hierarchy = Level.hierarchy [ "hi"; "mid"; "lo" ] in
+  let universe = Category.universe [ "a"; "b" ] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let fs =
+    match Memfs.mount kernel ~subject:(Kernel.admin_subject kernel) () with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "mount: %s" (Service.error_to_string e)
+  in
+  kernel, fs, alice, bob
+
+let cls kernel level cats =
+  Security_class.make
+    (Level.of_name_exn (Kernel.hierarchy kernel) level)
+    (Category.of_names (Kernel.universe kernel) cats)
+
+let ok label = function
+  | Ok value -> value
+  | Error e -> Alcotest.failf "%s: %s" label (Service.error_to_string e)
+
+let test_create_read_write () =
+  let kernel, fs, alice, _ = boot () in
+  let subject = Subject.make alice (cls kernel "lo" []) in
+  let () = ok "create" (Memfs.create fs ~subject "note" "v1") in
+  Alcotest.(check string) "read" "v1" (ok "read" (Memfs.read fs ~subject "note"));
+  let () = ok "write" (Memfs.write fs ~subject "note" "v2") in
+  Alcotest.(check string) "after write" "v2" (ok "read2" (Memfs.read fs ~subject "note"));
+  let () = ok "append" (Memfs.append fs ~subject "note" "+") in
+  Alcotest.(check string) "after append" "v2+" (ok "read3" (Memfs.read fs ~subject "note"));
+  check "exists" true (Memfs.exists fs "note")
+
+let test_owner_isolation () =
+  let kernel, fs, alice, bob = boot () in
+  let alice_sub = Subject.make alice (cls kernel "lo" []) in
+  let bob_sub = Subject.make bob (cls kernel "lo" []) in
+  let () = ok "create" (Memfs.create fs ~subject:alice_sub "private" "secret") in
+  (match Memfs.read fs ~subject:bob_sub "private" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "bob read alice's file");
+  (match Memfs.write fs ~subject:bob_sub "private" "defaced" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "bob wrote alice's file");
+  match Memfs.remove fs ~subject:bob_sub "private" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "bob removed alice's file"
+
+let test_acl_grant () =
+  let kernel, fs, alice, bob = boot () in
+  let alice_sub = Subject.make alice (cls kernel "lo" []) in
+  let bob_sub = Subject.make bob (cls kernel "lo" []) in
+  let () = ok "create" (Memfs.create fs ~subject:alice_sub "shared" "data") in
+  let () =
+    ok "set_acl"
+      (Memfs.set_acl fs ~subject:alice_sub "shared"
+         (Acl.of_entries
+            [
+              Acl.allow_all (Acl.Individual alice);
+              Acl.allow (Acl.Individual bob) [ Access_mode.Read; Access_mode.Write_append ];
+            ]))
+  in
+  Alcotest.(check string) "bob reads" "data" (ok "bob read" (Memfs.read fs ~subject:bob_sub "shared"));
+  let () = ok "bob appends" (Memfs.append fs ~subject:bob_sub "shared" "!") in
+  (* Write_append does not imply full write. *)
+  match Memfs.write fs ~subject:bob_sub "shared" "clobbered" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "append right allowed overwrite"
+
+let test_mac_file_separation () =
+  let kernel, fs, alice, bob = boot () in
+  (* Files wide open at the ACL layer; classes do the separation. *)
+  let open_acl owner =
+    Acl.of_entries
+      [ Acl.allow_all (Acl.Individual owner); Acl.allow Acl.Everyone [ Access_mode.Read; Access_mode.Write; Access_mode.List ] ]
+  in
+  let hi_sub = Subject.make alice (cls kernel "hi" [ "a" ]) in
+  let lo_sub = Subject.make bob (cls kernel "lo" []) in
+  let () = ok "hi file" (Memfs.create fs ~subject:hi_sub ~acl:(open_acl alice) "hi-file" "top") in
+  let () = ok "lo file" (Memfs.create fs ~subject:lo_sub ~acl:(open_acl bob) "lo-file" "pub") in
+  (* Read down: ok.  Read up: denied. *)
+  Alcotest.(check string) "hi reads lo" "pub" (ok "down" (Memfs.read fs ~subject:hi_sub "lo-file"));
+  (match Memfs.read fs ~subject:lo_sub "hi-file" with
+  | Error (Service.Denied { denial = Decision.Mac_denied Mac.Read_up; _ }) -> ()
+  | _ -> Alcotest.fail "low subject read high file");
+  (* Write down: denied even for the high subject. *)
+  match Memfs.write fs ~subject:hi_sub "lo-file" "leak" with
+  | Error (Service.Denied { denial = Decision.Mac_denied _; _ }) -> ()
+  | _ -> Alcotest.fail "write-down allowed"
+
+let test_directories () =
+  let kernel, fs, alice, bob = boot () in
+  let subject = Subject.make alice (cls kernel "lo" []) in
+  let () = ok "mkdir" (Memfs.mkdir fs ~subject "docs") in
+  let () = ok "create in dir" (Memfs.create fs ~subject "docs/a" "1") in
+  let () = ok "create b" (Memfs.create fs ~subject "docs/b" "2") in
+  Alcotest.(check (list string)) "list" [ "a"; "b" ] (ok "list" (Memfs.list fs ~subject "docs"));
+  (* Default directory ACL: others may list but not create. *)
+  let bob_sub = Subject.make bob (cls kernel "lo" []) in
+  let _ = ok "bob lists" (Memfs.list fs ~subject:bob_sub "docs") in
+  (match Memfs.create fs ~subject:bob_sub "docs/intruder" "x" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "bob created in alice's dir");
+  (* Removing a non-empty dir fails; empty works. *)
+  (match Memfs.remove fs ~subject "docs" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "removed non-empty dir");
+  let () = ok "rm a" (Memfs.remove fs ~subject "docs/a") in
+  let () = ok "rm b" (Memfs.remove fs ~subject "docs/b") in
+  let () = ok "rm dir" (Memfs.remove fs ~subject "docs") in
+  check "gone" false (Memfs.exists fs "docs")
+
+let test_not_a_file () =
+  let kernel, fs, alice, _ = boot () in
+  let subject = Subject.make alice (cls kernel "lo" []) in
+  let () = ok "mkdir" (Memfs.mkdir fs ~subject "d") in
+  (match Memfs.read fs ~subject "d" with
+  | Error (Service.Unresolved _) -> ()
+  | _ -> Alcotest.fail "read a directory");
+  match Memfs.read fs ~subject "ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read a ghost"
+
+let suite =
+  [
+    Alcotest.test_case "create/read/write" `Quick test_create_read_write;
+    Alcotest.test_case "owner isolation" `Quick test_owner_isolation;
+    Alcotest.test_case "acl grant" `Quick test_acl_grant;
+    Alcotest.test_case "MAC separation" `Quick test_mac_file_separation;
+    Alcotest.test_case "directories" `Quick test_directories;
+    Alcotest.test_case "not a file" `Quick test_not_a_file;
+  ]
+
+let test_service_interface () =
+  let kernel, fs, alice, bob = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (match Memfs.install_service fs ~subject:admin_sub with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install_service: %s" (Service.error_to_string e));
+  let alice_sub = Subject.make alice (cls kernel "lo" []) in
+  let bob_sub = Subject.make bob (cls kernel "lo" []) in
+  let call subject name args =
+    Kernel.call kernel ~subject ~caller:"test" (Path.child Memfs.service_mount name) args
+  in
+  (match call alice_sub "create" [ Value.str "via-svc"; Value.str "hello" ] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "create via service");
+  (match call alice_sub "read" [ Value.str "via-svc" ] with
+  | Ok (Value.Str "hello") -> ()
+  | _ -> Alcotest.fail "read via service");
+  (* Checks still apply to the *caller*, not the service. *)
+  (match call bob_sub "read" [ Value.str "via-svc" ] with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "bob read alice's file via the service");
+  (match call alice_sub "append" [ Value.str "via-svc"; Value.str "!" ] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "append via service");
+  (match call alice_sub "remove" [ Value.str "via-svc" ] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "remove via service");
+  check "gone" false (Memfs.exists fs "via-svc")
+
+let test_service_respects_extension_ceiling () =
+  let kernel, fs, alice, _ = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (match Memfs.install_service fs ~subject:admin_sub with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install_service: %s" (Service.error_to_string e));
+  (* Alice at hi creates a hi file, then runs a lo-pinned extension
+     that imports the fs service and tries to read it back: the
+     ceiling must hold through the service call. *)
+  let hi_sub = Subject.make alice (cls kernel "hi" []) in
+  (match Memfs.create fs ~subject:hi_sub "secret" "classified" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "create: %s" (Service.error_to_string e));
+  let read_path = Path.child Memfs.service_mount "read" in
+  let ext =
+    Extension.make ~name:"leaky" ~author:alice
+      ~static_class:(cls kernel "lo" [])
+      ~imports:[ read_path ]
+      ()
+  in
+  let linked =
+    match Linker.link kernel ~subject:hi_sub ext with
+    | Ok linked -> linked
+    | Error e -> Alcotest.failf "link: %s" (Format.asprintf "%a" Linker.pp_link_error e)
+  in
+  match Linker.Linked.call linked ~subject:hi_sub read_path [ Value.str "secret" ] with
+  | Error (Service.Denied { denial = Decision.Mac_denied Mac.Read_up; _ }) -> ()
+  | Ok _ -> Alcotest.fail "pinned extension read a high file through the fs service"
+  | Error other -> Alcotest.failf "unexpected: %s" (Service.error_to_string other)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "service interface" `Quick test_service_interface;
+      Alcotest.test_case "service respects ceiling" `Quick test_service_respects_extension_ceiling;
+    ]

@@ -1,0 +1,200 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+let check = Alcotest.(check bool)
+
+let boot () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let server = Principal.individual "server" in
+  let client = Principal.individual "client" in
+  let eve = Principal.individual "eve" in
+  List.iter (Principal.Db.add_individual db) [ admin; server; client; eve ];
+  let hierarchy = Level.hierarchy [ "local"; "org"; "outside" ] in
+  let universe = Category.universe [ "d1" ] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let net =
+    match Netstack.install kernel ~subject:(Kernel.admin_subject kernel) with
+    | Ok net -> net
+    | Error e -> Alcotest.failf "install: %s" (Service.error_to_string e)
+  in
+  kernel, net, server, client, eve
+
+let cls kernel level cats =
+  Security_class.make
+    (Level.of_name_exn (Kernel.hierarchy kernel) level)
+    (Category.of_names (Kernel.universe kernel) cats)
+
+let ok label = function
+  | Ok value -> value
+  | Error e -> Alcotest.failf "%s: %s" label (Service.error_to_string e)
+
+let test_listen_connect_send_recv () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~host:"mail" ~port:25 ()) in
+  let conn = ok "connect" (Netstack.connect net ~subject:client_sub ~host:"mail" ~port:25) in
+  let () = ok "send 1" (Netstack.send net ~subject:client_sub conn "HELO") in
+  let () = ok "send 2" (Netstack.send net ~subject:client_sub conn "DATA") in
+  Alcotest.(check int) "pending" 2 (Netstack.pending net ~host:"mail" ~port:25);
+  let inbox = ok "recv" (Netstack.recv net ~subject:server_sub ~host:"mail" ~port:25) in
+  Alcotest.(check (list string)) "fifo" [ "HELO"; "DATA" ] inbox;
+  Alcotest.(check int) "drained" 0 (Netstack.pending net ~host:"mail" ~port:25)
+
+let test_unknown_endpoint () =
+  let kernel, net, _, client, _ = boot () in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  match Netstack.connect net ~subject:client_sub ~host:"ghost" ~port:80 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connected to nothing"
+
+let test_acl_restricts_connect () =
+  let kernel, net, server, client, eve = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual server);
+        Acl.allow Acl.Everyone [ Access_mode.List ];
+        Acl.allow (Acl.Individual client) [ Access_mode.Execute; Access_mode.Write_append ];
+      ]
+  in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~acl ~host:"db" ~port:5432 ()) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let eve_sub = Subject.make eve (cls kernel "org" []) in
+  let _ = ok "client connects" (Netstack.connect net ~subject:client_sub ~host:"db" ~port:5432) in
+  match Netstack.connect net ~subject:eve_sub ~host:"db" ~port:5432 with
+  | Error (Service.Denied { mode = Access_mode.Execute; _ }) -> ()
+  | _ -> Alcotest.fail "eve connected"
+
+let test_third_host_containment () =
+  (* The classic sandbox escape, done right: an outside applet may
+     talk to its own origin's endpoint but not to a third,
+     organization-classified host. *)
+  let kernel, net, server, _, eve = boot () in
+  let origin_sub = Subject.make server (cls kernel "outside" []) in
+  let internal_sub = Subject.make server (cls kernel "org" []) in
+  let () = ok "origin" (Netstack.listen net ~subject:origin_sub ~host:"origin" ~port:80 ()) in
+  let () = ok "internal" (Netstack.listen net ~subject:internal_sub ~host:"intranet" ~port:80 ()) in
+  let eve_sub = Subject.make eve (cls kernel "outside" []) in
+  let _ = ok "origin ok" (Netstack.connect net ~subject:eve_sub ~host:"origin" ~port:80) in
+  match Netstack.connect net ~subject:eve_sub ~host:"intranet" ~port:80 with
+  | Error (Service.Denied { denial = Decision.Mac_denied Mac.Read_up; _ }) -> ()
+  | Ok _ -> Alcotest.fail "socket to third host"
+  | Error other -> Alcotest.failf "unexpected: %s" (Service.error_to_string other)
+
+let test_send_up_but_not_read () =
+  (* A low client may deliver data up into a high service, but cannot
+     read the high inbox. *)
+  let kernel, net, server, client, _ = boot () in
+  let high_sub = Subject.make server (cls kernel "local" []) in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual server);
+        Acl.allow Acl.Everyone
+          [ Access_mode.List; Access_mode.Execute; Access_mode.Write_append; Access_mode.Read ];
+      ]
+  in
+  let () = ok "listen" (Netstack.listen net ~subject:high_sub ~acl ~host:"drop" ~port:9 ()) in
+  let low_sub = Subject.make client (cls kernel "outside" []) in
+  (* Execute is read-like: a low subject cannot even connect upward;
+     sending is possible through a pre-arranged handle only if
+     connect succeeded — model the "upload" by sending as an org
+     subject. *)
+  (match Netstack.connect net ~subject:low_sub ~host:"drop" ~port:9 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "low connect-up admitted (execute is read-like)");
+  let mid_sub = Subject.make client (cls kernel "local" []) in
+  let conn = ok "connect" (Netstack.connect net ~subject:mid_sub ~host:"drop" ~port:9) in
+  let () = ok "send" (Netstack.send net ~subject:mid_sub conn "payload") in
+  let inbox = ok "recv" (Netstack.recv net ~subject:high_sub ~host:"drop" ~port:9) in
+  Alcotest.(check int) "delivered" 1 (List.length inbox)
+
+let test_revocation_cuts_connection () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~host:"api" ~port:443 ()) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let conn = ok "connect" (Netstack.connect net ~subject:client_sub ~host:"api" ~port:443) in
+  let () = ok "send" (Netstack.send net ~subject:client_sub conn "v1") in
+  (* The server slams the door: owner-only ACL. *)
+  let path = Netstack.endpoint_path ~host:"api" ~port:443 in
+  (match
+     Resolver.set_acl (Kernel.resolver kernel) ~subject:server_sub path
+       (Acl.owner_default server)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "set_acl: %s" (Format.asprintf "%a" Resolver.pp_denial e));
+  match Netstack.send net ~subject:client_sub conn "v2" with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "send after revocation"
+
+let test_close () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~host:"tmp" ~port:1 ()) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  (* Only the owner can close. *)
+  (match Netstack.close net ~subject:client_sub ~host:"tmp" ~port:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "client closed the server's endpoint");
+  let () = ok "close" (Netstack.close net ~subject:server_sub ~host:"tmp" ~port:1) in
+  match Netstack.connect net ~subject:client_sub ~host:"tmp" ~port:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connected to closed endpoint"
+
+let suite =
+  [
+    Alcotest.test_case "listen/connect/send/recv" `Quick test_listen_connect_send_recv;
+    Alcotest.test_case "unknown endpoint" `Quick test_unknown_endpoint;
+    Alcotest.test_case "ACL restricts connect" `Quick test_acl_restricts_connect;
+    Alcotest.test_case "third-host containment" `Quick test_third_host_containment;
+    Alcotest.test_case "send up, no read up" `Quick test_send_up_but_not_read;
+    Alcotest.test_case "revocation cuts connection" `Quick test_revocation_cuts_connection;
+    Alcotest.test_case "close" `Quick test_close;
+  ]
+
+let test_duplicate_listen () =
+  let kernel, net, server, _, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let () = ok "first" (Netstack.listen net ~subject:server_sub ~host:"dup" ~port:80 ()) in
+  match Netstack.listen net ~subject:server_sub ~host:"dup" ~port:80 () with
+  | Error (Service.Unresolved _) -> ()
+  | _ -> Alcotest.fail "duplicate listen accepted"
+
+let test_send_after_close () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~host:"gone" ~port:1 ()) in
+  let conn = ok "connect" (Netstack.connect net ~subject:client_sub ~host:"gone" ~port:1) in
+  let () = ok "close" (Netstack.close net ~subject:server_sub ~host:"gone" ~port:1) in
+  match Netstack.send net ~subject:client_sub conn "late" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "sent to a closed endpoint"
+
+let test_two_ports_one_host () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let () = ok "p1" (Netstack.listen net ~subject:server_sub ~host:"multi" ~port:80 ()) in
+  let () = ok "p2" (Netstack.listen net ~subject:server_sub ~host:"multi" ~port:443 ()) in
+  let c80 = ok "c80" (Netstack.connect net ~subject:client_sub ~host:"multi" ~port:80) in
+  let c443 = ok "c443" (Netstack.connect net ~subject:client_sub ~host:"multi" ~port:443) in
+  let () = ok "s80" (Netstack.send net ~subject:client_sub c80 "web") in
+  let () = ok "s443" (Netstack.send net ~subject:client_sub c443 "tls") in
+  Alcotest.(check (list string)) "80" [ "web" ]
+    (ok "r80" (Netstack.recv net ~subject:server_sub ~host:"multi" ~port:80));
+  Alcotest.(check (list string)) "443" [ "tls" ]
+    (ok "r443" (Netstack.recv net ~subject:server_sub ~host:"multi" ~port:443))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "duplicate listen" `Quick test_duplicate_listen;
+      Alcotest.test_case "send after close" `Quick test_send_after_close;
+      Alcotest.test_case "two ports one host" `Quick test_two_ports_one_host;
+    ]

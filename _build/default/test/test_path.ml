@@ -1,0 +1,85 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let test_parse_and_print () =
+  Alcotest.(check string) "simple" "/a/b/c" (Path.to_string (Path.of_string "/a/b/c"));
+  Alcotest.(check string) "no leading slash" "/a/b" (Path.to_string (Path.of_string "a/b"));
+  Alcotest.(check string) "repeated slashes" "/a/b" (Path.to_string (Path.of_string "//a///b/"));
+  Alcotest.(check string) "root" "/" (Path.to_string (Path.of_string "/"));
+  Alcotest.(check string) "empty is root" "/" (Path.to_string (Path.of_string ""))
+
+let test_segments_validation () =
+  (match Path.of_segments [ "a"; "" ] with
+  | _ -> Alcotest.fail "empty segment accepted"
+  | exception Invalid_argument _ -> ());
+  match Path.of_segments [ "a/b" ] with
+  | _ -> Alcotest.fail "slash in segment accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_parent_basename () =
+  let p = Path.of_string "/a/b/c" in
+  Alcotest.(check (option string)) "basename" (Some "c") (Path.basename p);
+  (match Path.parent p with
+  | Some parent -> Alcotest.(check string) "parent" "/a/b" (Path.to_string parent)
+  | None -> Alcotest.fail "no parent");
+  check "root basename" true (Path.basename Path.root = None);
+  check "root parent" true (Path.parent Path.root = None)
+
+let test_child_append () =
+  let p = Path.child (Path.of_string "/a") "b" in
+  Alcotest.(check string) "child" "/a/b" (Path.to_string p);
+  let q = Path.append p (Path.of_string "/c/d") in
+  Alcotest.(check string) "append" "/a/b/c/d" (Path.to_string q);
+  Alcotest.(check int) "depth" 4 (Path.depth q)
+
+let test_prefix () =
+  let a = Path.of_string "/a" in
+  let ab = Path.of_string "/a/b" in
+  let ax = Path.of_string "/a/x" in
+  check "prefix" true (Path.is_prefix a ab);
+  check "self prefix" true (Path.is_prefix ab ab);
+  check "root prefix" true (Path.is_prefix Path.root ab);
+  check "not prefix" false (Path.is_prefix ab a);
+  check "sibling" false (Path.is_prefix ax ab)
+
+let test_prefixes () =
+  let p = Path.of_string "/a/b" in
+  Alcotest.(check (list string))
+    "prefixes" [ "/"; "/a"; "/a/b" ]
+    (List.map Path.to_string (Path.prefixes p));
+  Alcotest.(check (list string)) "root prefixes" [ "/" ] (List.map Path.to_string (Path.prefixes Path.root))
+
+let test_compare_equal () =
+  check "equal" true (Path.equal (Path.of_string "/a/b") (Path.of_string "a/b"));
+  check "ordered" true (Path.compare (Path.of_string "/a") (Path.of_string "/b") < 0)
+
+let prop_roundtrip =
+  let seg = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) in
+  let arb = QCheck.make QCheck.Gen.(list_size (int_range 0 6) seg) in
+  QCheck.Test.make ~name:"of_string/to_string roundtrip" ~count:300 arb (fun segments ->
+      let p = Path.of_segments segments in
+      Path.equal p (Path.of_string (Path.to_string p)))
+
+let prop_parent_child_inverse =
+  let seg = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) in
+  let arb = QCheck.make QCheck.Gen.(pair (list_size (int_range 0 5) seg) seg) in
+  QCheck.Test.make ~name:"parent of child is original" ~count:300 arb
+    (fun (segments, last) ->
+      let p = Path.of_segments segments in
+      match Path.parent (Path.child p last) with
+      | Some back -> Path.equal back p
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse and print" `Quick test_parse_and_print;
+    Alcotest.test_case "segment validation" `Quick test_segments_validation;
+    Alcotest.test_case "parent/basename" `Quick test_parent_basename;
+    Alcotest.test_case "child/append" `Quick test_child_append;
+    Alcotest.test_case "prefix" `Quick test_prefix;
+    Alcotest.test_case "prefixes" `Quick test_prefixes;
+    Alcotest.test_case "compare/equal" `Quick test_compare_equal;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_parent_child_inverse;
+  ]

@@ -1,0 +1,265 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let sample =
+  {|# a deployment policy
+levels local > organization > others
+categories myself department-1 department-2 outside
+
+individual admin
+individual alice
+individual bob
+individual mallory
+group staff = alice bob mallory
+group everyone-in-building = group:staff admin
+
+clearance admin = local { myself department-1 department-2 outside } trusted
+clearance alice = local { myself department-1 }
+clearance bob   = organization { department-2 }
+
+object /fs/report {
+  owner alice
+  class organization { department-1 }
+  allow user:alice read write administrate
+  allow group:staff read
+  deny  user:mallory read
+  allow everyone list
+}
+
+object /svc/vfs/backend_read {
+  owner admin
+  class others { }
+  integrity local { }
+  allow everyone list execute
+  allow user:alice extend
+}
+|}
+
+let parse_ok text =
+  match Policy_text.parse text with
+  | Ok spec -> spec
+  | Error e -> Alcotest.failf "parse: %s" (Format.asprintf "%a" Policy_text.pp_error e)
+
+let test_parse_sample () =
+  let spec = parse_ok sample in
+  Alcotest.(check (list string)) "levels" [ "local"; "organization"; "others" ]
+    spec.Policy_text.levels;
+  Alcotest.(check int) "categories" 4 (List.length spec.Policy_text.categories);
+  Alcotest.(check int) "individuals" 4 (List.length spec.Policy_text.individuals);
+  Alcotest.(check int) "groups" 2 (List.length spec.Policy_text.groups);
+  Alcotest.(check int) "clearances" 3 (List.length spec.Policy_text.clearances);
+  Alcotest.(check int) "objects" 2 (List.length spec.Policy_text.objects);
+  let report = List.hd spec.Policy_text.objects in
+  Alcotest.(check int) "report entries" 4 (List.length report.Policy_text.entries);
+  Alcotest.(check string) "report owner" "alice" report.Policy_text.owner;
+  let backend = List.nth spec.Policy_text.objects 1 in
+  check "integrity parsed" true (backend.Policy_text.obj_integrity <> None)
+
+let test_roundtrip_sample () =
+  let spec = parse_ok sample in
+  let printed = Policy_text.to_string spec in
+  let spec2 = parse_ok printed in
+  check "roundtrip" true (Policy_text.equal spec spec2)
+
+let test_parse_errors () =
+  let expect_error ?(at = 0) text =
+    match Policy_text.parse text with
+    | Error e -> if at > 0 then Alcotest.(check int) "line" at e.Policy_text.line
+    | Ok _ -> Alcotest.failf "accepted: %s" text
+  in
+  expect_error "nonsense here" ~at:1;
+  expect_error "levels a > b\nlevels c" ~at:2;
+  expect_error "levels a b" ~at:1;
+  expect_error "levels a\nclearance alice = " ~at:2;
+  expect_error "levels a\nobject /x {\n  owner me\n";  (* unterminated *)
+  expect_error "levels a\nobject /x {\n}\n";  (* missing owner/class *)
+  expect_error "levels a\nobject /x {\n  owner me\n  class a\n  allow wizard:bob read\n}";
+  (* missing levels entirely *)
+  expect_error "categories a b"
+
+let test_build_sample () =
+  let spec = parse_ok sample in
+  match Policy_text.build spec with
+  | Error e -> Alcotest.failf "build: %s" (Format.asprintf "%a" Policy_text.pp_error e)
+  | Ok built ->
+    (* Nested group membership resolved. *)
+    check "alice in staff" true
+      (Principal.Db.is_member built.Policy_text.db (Principal.individual "alice")
+         (Principal.group "staff"));
+    check "alice in building" true
+      (Principal.Db.is_member built.Policy_text.db (Principal.individual "alice")
+         (Principal.group "everyone-in-building"));
+    (* Clearances live. *)
+    (match Clearance.login built.Policy_text.registry (Principal.individual "admin") with
+    | Ok subject -> check "admin trusted" true (Subject.is_trusted subject)
+    | Error _ -> Alcotest.fail "admin login");
+    (* The built metadata really decides like the source says. *)
+    let monitor = Reference_monitor.create built.Policy_text.db in
+    let report_meta = List.assoc "/fs/report" built.Policy_text.metas in
+    let login name =
+      match Clearance.login built.Policy_text.registry (Principal.individual name) with
+      | Ok subject -> subject
+      | Error e -> Alcotest.failf "login %s: %s" name (Format.asprintf "%a" Clearance.pp_error e)
+    in
+    let alice = login "alice" in
+    check "alice reads report" true
+      (Decision.is_granted
+         (Reference_monitor.decide monitor ~subject:alice ~meta:report_meta ~mode:Access_mode.Read));
+    (* mallory is staff but denied by the negative entry; she has no
+       clearance registered, so fabricate a session at bob's level. *)
+    let mallory =
+      Subject.make (Principal.individual "mallory")
+        (Security_class.top built.Policy_text.hierarchy built.Policy_text.universe)
+    in
+    check "mallory denied" false
+      (Decision.is_granted
+         (Reference_monitor.decide monitor ~subject:mallory ~meta:report_meta ~mode:Access_mode.Read));
+    (* bob: staff grants DAC read, but organization/{d2} does not
+       dominate organization/{d1}: MAC refuses. *)
+    let bob = login "bob" in
+    check "bob blocked by MAC" false
+      (Decision.is_granted
+         (Reference_monitor.decide monitor ~subject:bob ~meta:report_meta ~mode:Access_mode.Read))
+
+let test_build_rejects_unknowns () =
+  let expect_build_error text =
+    match Policy_text.parse text with
+    | Error _ -> Alcotest.fail "parse failed before build"
+    | Ok spec -> (
+      match Policy_text.build spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "built: %s" text)
+  in
+  expect_build_error "levels a\nclearance ghost = a";
+  expect_build_error "levels a\nindividual me\nobject /x {\n  owner me\n  class zz\n}";
+  expect_build_error
+    "levels a\nindividual me\nobject /x {\n  owner me\n  class a { nocat }\n}";
+  expect_build_error
+    "levels a\nindividual me\nobject /x {\n  owner me\n  class a\n  allow user:ghost read\n}";
+  expect_build_error
+    "levels a\nindividual me\nobject /x {\n  owner me\n  class a\n  allow user:me frobnicate\n}";
+  expect_build_error "levels a\nindividual me\ngroup g = ghost";
+  expect_build_error "levels a > a\n"
+
+let test_empty_categories_ok () =
+  let spec = parse_ok "levels a > b\nindividual me\nclearance me = a" in
+  match Policy_text.build spec with
+  | Ok built -> Alcotest.(check int) "no categories" 0 (Category.universe_size built.Policy_text.universe)
+  | Error _ -> Alcotest.fail "build failed"
+
+(* Round-trip property over generated specs. *)
+let arb_spec =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let gen =
+    let* level_count = int_range 1 3 in
+    let levels = List.init level_count (fun i -> Printf.sprintf "l%d" i) in
+    let* cat_count = int_range 0 3 in
+    let categories = List.init cat_count (fun i -> Printf.sprintf "c%d" i) in
+    let* individuals = list_size (int_range 1 4) name in
+    let individuals = List.sort_uniq String.compare individuals in
+    let* cats_of =
+      let* keep = list_size (return cat_count) bool in
+      return (List.filteri (fun i _ -> List.nth keep i) categories)
+    in
+    let* object_count = int_range 0 3 in
+    let objects =
+      List.init object_count (fun i ->
+          {
+            Policy_text.path = Printf.sprintf "/o/%d" i;
+            owner = List.hd individuals;
+            klass = { Policy_text.level = List.hd levels; cats = cats_of };
+            obj_integrity = None;
+            entries =
+              [
+                {
+                  Policy_text.allow = i mod 2 = 0;
+                  who = Policy_text.Everyone;
+                  modes = [ "read"; "list" ];
+                };
+              ];
+          })
+    in
+    return
+      {
+        Policy_text.levels;
+        categories;
+        individuals;
+        groups = [ "g", individuals ];
+        clearances =
+          [
+            {
+              Policy_text.principal = List.hd individuals;
+              clearance = { Policy_text.level = List.hd levels; cats = cats_of };
+              cl_integrity = None;
+              trusted = false;
+            };
+          ];
+        quotas = [];
+        objects;
+      }
+  in
+  QCheck.make gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arb_spec (fun spec ->
+      match Policy_text.parse (Policy_text.to_string spec) with
+      | Ok back -> Policy_text.equal spec back
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "build sample" `Quick test_build_sample;
+    Alcotest.test_case "build rejects unknowns" `Quick test_build_rejects_unknowns;
+    Alcotest.test_case "empty categories" `Quick test_empty_categories_ok;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
+
+let test_quota_declarations () =
+  let source =
+    "levels a > b\n\
+     individual eve\n\
+     clearance eve = b\n\
+     quota eve calls=100 threads=4 extensions=1\n\
+     quota eve calls=7\n"
+  in
+  let spec = parse_ok source in
+  Alcotest.(check int) "two declarations" 2 (List.length spec.Policy_text.quotas);
+  (match spec.Policy_text.quotas with
+  | [ first; second ] ->
+    check "calls" true (first.Policy_text.q_calls = Some 100);
+    check "threads" true (first.Policy_text.q_threads = Some 4);
+    check "extensions" true (first.Policy_text.q_extensions = Some 1);
+    check "partial" true
+      (second.Policy_text.q_calls = Some 7 && second.Policy_text.q_threads = None)
+  | _ -> Alcotest.fail "quotas");
+  (* Round trip. *)
+  let spec2 = parse_ok (Policy_text.to_string spec) in
+  check "roundtrip" true (Policy_text.equal spec spec2);
+  (* Build validates the principal and carries the budgets through. *)
+  (match Policy_text.build spec with
+  | Ok built -> Alcotest.(check int) "built quotas" 2 (List.length built.Policy_text.quotas)
+  | Error _ -> Alcotest.fail "build");
+  (* Errors. *)
+  (match Policy_text.parse "levels a\nquota eve calls=-3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative count accepted");
+  (match Policy_text.parse "levels a\nquota eve frobs=3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown resource accepted");
+  (match Policy_text.parse "levels a\nquota eve" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing pairs accepted");
+  match Policy_text.parse "levels a\nquota ghost calls=3" with
+  | Ok spec -> (
+    match Policy_text.build spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "undeclared principal accepted")
+  | Error _ -> Alcotest.fail "parse should succeed (build rejects)"
+
+let suite =
+  suite @ [ Alcotest.test_case "quota declarations" `Quick test_quota_declarations ]

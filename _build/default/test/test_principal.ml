@@ -1,0 +1,97 @@
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let test_empty_names_rejected () =
+  Alcotest.check_raises "individual" (Invalid_argument "Principal.individual: empty name")
+    (fun () -> ignore (Principal.individual ""));
+  Alcotest.check_raises "group" (Invalid_argument "Principal.group: empty name") (fun () ->
+      ignore (Principal.group ""))
+
+let test_direct_membership () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let staff = Principal.group "staff" in
+  Principal.Db.add_member db staff (Principal.Ind alice);
+  check "alice in staff" true (Principal.Db.is_member db alice staff);
+  check "bob not in staff" false
+    (Principal.Db.is_member db (Principal.individual "bob") staff)
+
+let test_nested_membership () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let eng = Principal.group "eng" in
+  let staff = Principal.group "staff" in
+  Principal.Db.add_member db eng (Principal.Ind alice);
+  Principal.Db.add_member db staff (Principal.Grp eng);
+  check "transitive" true (Principal.Db.is_member db alice staff);
+  Alcotest.(check int) "groups_of" 2 (List.length (Principal.Db.groups_of db alice))
+
+let test_cycle_rejected () =
+  let db = Principal.Db.create () in
+  let a = Principal.group "a" in
+  let b = Principal.group "b" in
+  Principal.Db.add_member db a (Principal.Grp b);
+  (match Principal.Db.add_member db b (Principal.Grp a) with
+  | () -> Alcotest.fail "cycle accepted"
+  | exception Invalid_argument _ -> ());
+  (* Self-membership is also a cycle. *)
+  match Principal.Db.add_member db a (Principal.Grp a) with
+  | () -> Alcotest.fail "self-cycle accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_add_member_idempotent () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let staff = Principal.group "staff" in
+  Principal.Db.add_member db staff (Principal.Ind alice);
+  Principal.Db.add_member db staff (Principal.Ind alice);
+  Alcotest.(check int) "one entry" 1 (List.length (Principal.Db.direct_members db staff))
+
+let test_remove_member () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let staff = Principal.group "staff" in
+  Principal.Db.add_member db staff (Principal.Ind alice);
+  Principal.Db.remove_member db staff (Principal.Ind alice);
+  check "removed" false (Principal.Db.is_member db alice staff);
+  (* Removing again is harmless. *)
+  Principal.Db.remove_member db staff (Principal.Ind alice);
+  check "still removed" false (Principal.Db.is_member db alice staff)
+
+let test_listing_sorted () =
+  let db = Principal.Db.create () in
+  List.iter
+    (fun name -> Principal.Db.add_individual db (Principal.individual name))
+    [ "zoe"; "alice"; "mike" ];
+  Alcotest.(check (list string))
+    "sorted" [ "alice"; "mike"; "zoe" ]
+    (List.map Principal.individual_name (Principal.Db.individuals db))
+
+let test_deep_nesting () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let deepest = Principal.group "g0" in
+  Principal.Db.add_member db deepest (Principal.Ind alice);
+  let top =
+    List.fold_left
+      (fun inner i ->
+        let outer = Principal.group (Printf.sprintf "g%d" i) in
+        Principal.Db.add_member db outer (Principal.Grp inner);
+        outer)
+      deepest
+      (List.init 20 (fun i -> i + 1))
+  in
+  check "20 levels deep" true (Principal.Db.is_member db alice top)
+
+let suite =
+  [
+    Alcotest.test_case "empty names rejected" `Quick test_empty_names_rejected;
+    Alcotest.test_case "direct membership" `Quick test_direct_membership;
+    Alcotest.test_case "nested membership" `Quick test_nested_membership;
+    Alcotest.test_case "cycles rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "add idempotent" `Quick test_add_member_idempotent;
+    Alcotest.test_case "remove member" `Quick test_remove_member;
+    Alcotest.test_case "listing sorted" `Quick test_listing_sorted;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+  ]

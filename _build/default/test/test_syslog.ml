@@ -1,0 +1,105 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+
+let check = Alcotest.(check bool)
+
+let boot () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  List.iter (Principal.Db.add_individual db) [ admin; alice ];
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let log =
+    match Syslog.install kernel ~subject:(Kernel.admin_subject kernel) () with
+    | Ok log -> log
+    | Error e -> Alcotest.failf "install: %s" (Service.error_to_string e)
+  in
+  kernel, log, admin, alice
+
+let cls kernel level =
+  Security_class.make
+    (Level.of_name_exn (Kernel.hierarchy kernel) level)
+    (Category.empty (Kernel.universe kernel))
+
+let ok label = function
+  | Ok value -> value
+  | Error e -> Alcotest.failf "%s: %s" label (Service.error_to_string e)
+
+let test_low_appends_high_reads () =
+  let kernel, log, admin, alice = boot () in
+  let low = Subject.make alice (cls kernel "lo") in
+  let high = Subject.make admin (cls kernel "hi") in
+  let () = ok "append 1" (Syslog.append log ~subject:low "event one") in
+  let () = ok "append 2" (Syslog.append log ~subject:low "event two") in
+  Alcotest.(check int) "size" 2 (Syslog.size log);
+  (* Low subjects cannot read the log back (read-up). *)
+  (match Syslog.entries log ~subject:low with
+  | Error (Service.Denied { denial = Decision.Mac_denied Mac.Read_up; _ }) -> ()
+  | _ -> Alcotest.fail "low subject read the log");
+  let lines = ok "high read" (Syslog.entries log ~subject:high) in
+  Alcotest.(check (list string)) "ordered" [ "event one"; "event two" ] lines
+
+let test_no_truncate_from_below () =
+  let kernel, log, admin, alice = boot () in
+  let low = Subject.make alice (cls kernel "lo") in
+  let high = Subject.make admin (cls kernel "hi") in
+  let () = ok "append" (Syslog.append log ~subject:low "precious") in
+  (* Full write (truncate) from below: the ACL grants only
+     write-append to others, and MAC's strict rule would refuse the
+     unequal-class overwrite anyway. *)
+  (match Syslog.truncate log ~subject:low with
+  | Error (Service.Denied _) -> ()
+  | _ -> Alcotest.fail "low subject truncated the log");
+  Alcotest.(check int) "still there" 1 (Syslog.size log);
+  (* The high subject at the log's own class may. *)
+  let () = ok "truncate" (Syslog.truncate log ~subject:high) in
+  Alcotest.(check int) "emptied" 0 (Syslog.size log)
+
+let test_append_needs_dac_too () =
+  let kernel, log, _, alice = boot () in
+  let admin_sub = Kernel.admin_subject kernel in
+  (* Revoke everyone's append. *)
+  let owner = Subject.principal admin_sub in
+  (match
+     Resolver.set_acl (Kernel.resolver kernel) ~subject:admin_sub Syslog.data_path
+       (Acl.of_entries [ Acl.allow_all (Acl.Individual owner) ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "set_acl: %s" (Format.asprintf "%a" Resolver.pp_denial e));
+  let low = Subject.make alice (cls kernel "lo") in
+  match Syslog.append log ~subject:low "spam" with
+  | Error (Service.Denied { denial = Decision.Dac_no_entry; _ }) -> ()
+  | _ -> Alcotest.fail "append after revocation"
+
+let test_custom_class () =
+  (* A kernel whose log sits at the bottom class: now everyone reads. *)
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  Principal.Db.add_individual db admin;
+  Principal.Db.add_individual db alice;
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let log =
+    match
+      Syslog.install kernel ~subject:(Kernel.admin_subject kernel)
+        ~klass:(Security_class.bottom hierarchy universe) ()
+    with
+    | Ok log -> log
+    | Error e -> Alcotest.failf "install: %s" (Service.error_to_string e)
+  in
+  let low = Subject.make alice (Security_class.bottom hierarchy universe) in
+  let () = ok "append" (Syslog.append log ~subject:low "visible") in
+  Alcotest.(check (list string)) "low reads" [ "visible" ] (ok "entries" (Syslog.entries log ~subject:low))
+
+let suite =
+  [
+    Alcotest.test_case "low appends, high reads" `Quick test_low_appends_high_reads;
+    Alcotest.test_case "no truncate from below" `Quick test_no_truncate_from_below;
+    Alcotest.test_case "append needs DAC too" `Quick test_append_needs_dac_too;
+    Alcotest.test_case "custom class" `Quick test_custom_class;
+  ]

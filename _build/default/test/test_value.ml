@@ -1,0 +1,40 @@
+open Exsec_extsys
+
+let check = Alcotest.(check bool)
+
+let test_accessors () =
+  check "int" true (Value.to_int (Value.int 7) = Some 7);
+  check "bool" true (Value.to_bool (Value.bool true) = Some true);
+  check "str" true (Value.to_str (Value.str "x") = Some "x");
+  check "blob" true (Value.to_blob (Value.blob (Bytes.of_string "b")) = Some (Bytes.of_string "b"));
+  check "pair" true (Value.to_pair (Value.pair Value.unit (Value.int 1)) <> None);
+  check "list" true (Value.to_list (Value.list [ Value.int 1 ]) <> None);
+  check "mismatch" true (Value.to_int (Value.str "7") = None)
+
+let test_exn_accessors () =
+  Alcotest.(check int) "int" 7 (Value.to_int_exn (Value.int 7));
+  match Value.to_int_exn (Value.str "oops") with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Value.Type_error message ->
+    Alcotest.(check string) "message" "expected int, got str" message
+
+let test_equal () =
+  check "deep equal" true
+    (Value.equal
+       (Value.list [ Value.pair (Value.int 1) (Value.str "a") ])
+       (Value.list [ Value.pair (Value.int 1) (Value.str "a") ]));
+  check "not equal" false (Value.equal (Value.int 1) (Value.int 2));
+  check "cross constructor" false (Value.equal (Value.int 1) (Value.str "1"))
+
+let test_pp () =
+  Alcotest.(check string) "pp list" {|[1; "a"]|}
+    (Format.asprintf "%a" Value.pp (Value.list [ Value.int 1; Value.str "a" ]));
+  Alcotest.(check string) "pp unit" "()" (Format.asprintf "%a" Value.pp Value.unit)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "exn accessors" `Quick test_exn_accessors;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,221 @@
+open Exsec_core
+open Exsec_workload
+
+let check = Alcotest.(check bool)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 in
+  let b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check "same stream" true (Int64.equal (Prng.next a) (Prng.next b))
+  done;
+  let c = Prng.create ~seed:43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.next a) (Prng.next c)) then differs := true
+  done;
+  check "different seed differs" true !differs
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    check "in range" true (v >= 0 && v < 10);
+    let f = Prng.float rng in
+    check "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  match Prng.int rng 0 with
+  | _ -> Alcotest.fail "zero bound accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_prng_distribution () =
+  (* Crude uniformity check: every bucket of 8 gets something in 4000
+     draws. *)
+  let rng = Prng.create ~seed:1 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    let v = Prng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri (fun i n -> check (Printf.sprintf "bucket %d populated" i) true (n > 300)) buckets
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create ~seed:5 in
+  let items = Array.init 20 Fun.id in
+  Prng.shuffle rng items;
+  let sorted = Array.copy items in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 Fun.id) sorted
+
+let test_gen_principal_db () =
+  let rng = Prng.create ~seed:11 in
+  let db, inds, grps = Gen.principal_db rng ~individuals:20 ~groups:4 ~density:0.5 in
+  Alcotest.(check int) "individuals" 20 (List.length inds);
+  Alcotest.(check int) "groups" 4 (List.length grps);
+  (* Density 0.5 over 80 slots: membership exists but is not total. *)
+  let memberships =
+    List.concat_map (fun g -> List.filter (fun i -> Principal.Db.is_member db i g) inds) grps
+  in
+  check "some members" true (List.length memberships > 10);
+  check "not everybody" true (List.length memberships < 80)
+
+let test_gen_acl_shape () =
+  let rng = Prng.create ~seed:13 in
+  let _, inds, grps = Gen.principal_db rng ~individuals:10 ~groups:2 ~density:0.3 in
+  let acl = Gen.acl rng ~individuals:inds ~groups:grps ~length:32 ~deny_fraction:0.25 in
+  Alcotest.(check int) "length" 32 (Acl.length acl);
+  let denies = List.filter (fun e -> e.Acl.sign = Acl.Deny) (Acl.entries acl) in
+  check "some denies" true (List.length denies > 0);
+  check "mostly allows" true (List.length denies < 20)
+
+let test_gen_acl_with_subject_at () =
+  let rng = Prng.create ~seed:17 in
+  let db, inds, _ = Gen.principal_db rng ~individuals:10 ~groups:0 ~density:0.0 in
+  let subject = List.hd inds in
+  let fillers = List.tl inds in
+  let acl =
+    Gen.acl_with_subject_at rng ~subject ~mode:Access_mode.Read ~filler_individuals:fillers
+      ~position:15 ~length:16
+  in
+  Alcotest.(check int) "length" 16 (Acl.length acl);
+  check "subject granted" true (Acl.permits ~db ~subject ~mode:Access_mode.Read acl);
+  (* Nobody else's entry matches the subject. *)
+  let hits =
+    List.filter
+      (fun e ->
+        match e.Acl.who with
+        | Acl.Individual ind -> Principal.equal_individual ind subject
+        | Acl.Group _ | Acl.Everyone -> false)
+      (Acl.entries acl)
+  in
+  Alcotest.(check int) "exactly one subject entry" 1 (List.length hits)
+
+let test_gen_lattice_and_class () =
+  let rng = Prng.create ~seed:19 in
+  let hierarchy, universe = Gen.lattice ~levels:4 ~categories:6 in
+  Alcotest.(check int) "levels" 4 (List.length (Level.names hierarchy));
+  Alcotest.(check int) "categories" 6 (Category.universe_size universe);
+  for _ = 1 to 50 do
+    let cls = Gen.security_class rng hierarchy universe in
+    check "class well-formed" true
+      (Security_class.dominates (Security_class.top hierarchy universe) cls)
+  done
+
+let test_gen_chain_namespace () =
+  let hierarchy, universe = Gen.lattice ~levels:2 ~categories:1 in
+  let owner = Principal.individual "owner" in
+  let ns =
+    Namespace.create
+      ~root_meta:
+        (Meta.make ~owner
+           ~acl:(Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List ] ])
+           (Security_class.bottom hierarchy universe))
+      ()
+  in
+  let leaf =
+    Gen.chain ns ~owner ~klass:(Security_class.bottom hierarchy universe) ~depth:10 ~leaf:0
+  in
+  Alcotest.(check int) "leaf depth" 11 (Path.depth leaf);
+  check "leaf exists" true (Namespace.mem ns leaf);
+  Alcotest.(check int) "node count" 12 (Namespace.size ns)
+
+let test_gen_tree_namespace () =
+  let hierarchy, universe = Gen.lattice ~levels:2 ~categories:1 in
+  let owner = Principal.individual "owner" in
+  let ns =
+    Namespace.create
+      ~root_meta:
+        (Meta.make ~owner
+           ~acl:(Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List ] ])
+           (Security_class.bottom hierarchy universe))
+      ()
+  in
+  let leaves =
+    Gen.populate_tree ns ~owner
+      ~klass:(Security_class.bottom hierarchy universe)
+      ~depth:3 ~fanout:3
+      ~leaf:(fun _ -> 0)
+  in
+  Alcotest.(check int) "3^3 leaves" 27 (List.length leaves);
+  List.iter (fun leaf -> check "leaf present" true (Namespace.mem ns leaf)) leaves
+
+let test_scenario_matches_paper () =
+  let scenario = Scenario.build () in
+  List.iter
+    (fun (subject_name, _) ->
+      List.iter
+        (fun file ->
+          let expected = Scenario.expected_read ~subject_name ~file in
+          let measured = Scenario.measured_read scenario ~subject_name ~file in
+          if expected <> measured then
+            Alcotest.failf "%s reading %s: expected %b, measured %b" subject_name file
+              expected measured)
+        Scenario.files)
+    (Scenario.subjects scenario)
+
+let test_scenario_write_rules () =
+  let scenario = Scenario.build () in
+  let fs = scenario.Scenario.fs in
+  (* The d1 applet cannot deface the outside drop box (write-down)... *)
+  (match Exsec_services.Memfs.write fs ~subject:scenario.Scenario.d1_applet "outside-data" "x" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "write-down allowed");
+  (* ...but may append upward into the user's file?  No: the user
+     file's categories are a superset, so append flows up. *)
+  match Exsec_services.Memfs.append fs ~subject:scenario.Scenario.d1_applet "user-data" "+note" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "append up refused: %s" (Exsec_extsys.Service.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng distribution" `Quick test_prng_distribution;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "gen principal db" `Quick test_gen_principal_db;
+    Alcotest.test_case "gen acl" `Quick test_gen_acl_shape;
+    Alcotest.test_case "gen acl with subject" `Quick test_gen_acl_with_subject_at;
+    Alcotest.test_case "gen lattice" `Quick test_gen_lattice_and_class;
+    Alcotest.test_case "gen chain" `Quick test_gen_chain_namespace;
+    Alcotest.test_case "gen tree" `Quick test_gen_tree_namespace;
+    Alcotest.test_case "scenario read matrix" `Quick test_scenario_matches_paper;
+    Alcotest.test_case "scenario write rules" `Quick test_scenario_write_rules;
+  ]
+
+let test_prng_subset_density () =
+  let rng = Prng.create ~seed:23 in
+  let items = List.init 1000 Fun.id in
+  let none = Prng.subset rng ~density:0.0 items in
+  let all = Prng.subset rng ~density:1.0 items in
+  let half = Prng.subset rng ~density:0.5 items in
+  Alcotest.(check int) "density 0" 0 (List.length none);
+  Alcotest.(check int) "density 1" 1000 (List.length all);
+  check "density 0.5 in band" true
+    (List.length half > 400 && List.length half < 600)
+
+let test_scenario_unknown_names () =
+  (match Scenario.expected_read ~subject_name:"nobody" ~file:"user-data" with
+  | _ -> Alcotest.fail "unknown subject accepted"
+  | exception Invalid_argument _ -> ());
+  let scenario = Scenario.build () in
+  match Scenario.measured_read scenario ~subject_name:"nobody" ~file:"user-data" with
+  | _ -> Alcotest.fail "unknown subject accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_gen_acl_position_validation () =
+  let rng = Prng.create ~seed:3 in
+  let _, inds, _ = Gen.principal_db rng ~individuals:4 ~groups:0 ~density:0.0 in
+  match
+    Gen.acl_with_subject_at rng ~subject:(List.hd inds) ~mode:Access_mode.Read
+      ~filler_individuals:(List.tl inds) ~position:8 ~length:4
+  with
+  | _ -> Alcotest.fail "bad position accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "prng subset density" `Quick test_prng_subset_density;
+      Alcotest.test_case "scenario unknown names" `Quick test_scenario_unknown_names;
+      Alcotest.test_case "gen acl position" `Quick test_gen_acl_position_validation;
+    ]
