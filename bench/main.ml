@@ -24,6 +24,7 @@ let experiments =
     "a3", "ablation: nested-group membership depth", Ablations.a3;
     "a4", "ablation: policy-file parse/build throughput", Ablations.a4;
     "a5", "ablation: quota charging overhead", Ablations.a5;
+    "a6", "ablation: decision cache on/off, repeated checks", Ablations.a6;
   ]
 
 let list_experiments () =

@@ -18,6 +18,10 @@ type t =
 val all : t list
 (** Every access mode, in declaration order. *)
 
+val index : t -> int
+(** A dense 0-based code (declaration order); stable within a build,
+    suitable as a hash-table key component. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

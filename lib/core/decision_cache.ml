@@ -1,0 +1,159 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+  capacity : int;
+}
+
+(* Everything a decision reads from the subject, plus the object
+   identity and the requested mode.  The mutable inputs — the
+   object's metadata, the group database and the monitor's policy —
+   are covered by generation validation, not by the key. *)
+module Key = struct
+  type t = {
+    principal : string;
+    effective : Security_class.t;
+    trusted : bool;
+    integrity : Security_class.t option;
+    object_id : int;
+    mode : int;
+  }
+
+  let of_request ~subject ~(meta : Meta.t) ~mode =
+    {
+      principal = Principal.individual_name (Subject.principal subject);
+      effective = Subject.effective_class subject;
+      trusted = Subject.is_trusted subject;
+      integrity = Subject.integrity subject;
+      object_id = meta.Meta.id;
+      mode = Access_mode.index mode;
+    }
+
+  let equal_class_option a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b -> Security_class.equal a b
+    | (None | Some _), _ -> false
+
+  let equal a b =
+    a.object_id = b.object_id
+    && a.mode = b.mode
+    && a.trusted = b.trusted
+    && String.equal a.principal b.principal
+    && Security_class.equal a.effective b.effective
+    && equal_class_option a.integrity b.integrity
+
+  (* Need not separate what [equal] separates; classes only
+     contribute their level rank so cross-lattice keys still hash
+     consistently with equality. *)
+  let hash key =
+    Hashtbl.hash
+      ( key.principal,
+        key.object_id,
+        key.mode,
+        key.trusted,
+        Level.rank (Security_class.level key.effective) )
+end
+
+module Table = Hashtbl.Make (Key)
+
+type entry = {
+  decision : Decision.t;
+  meta_generation : int;
+  db_generation : int;
+  stamp : int;  (* insertion order, for FIFO eviction *)
+}
+
+type t = {
+  table : entry Table.t;
+  order : (Key.t * int) Queue.t;  (* (key, stamp); stale pairs skipped *)
+  cap : int;
+  mutable next_stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Decision_cache.create: capacity must be positive";
+  {
+    table = Table.create (Stdlib.min capacity 1024);
+    order = Queue.create ();
+    cap = capacity;
+    next_stamp = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity cache = cache.cap
+let size cache = Table.length cache.table
+
+let stats cache =
+  {
+    hits = cache.hits;
+    misses = cache.misses;
+    evictions = cache.evictions;
+    invalidations = cache.invalidations;
+    size = size cache;
+    capacity = cache.cap;
+  }
+
+let flush cache =
+  cache.invalidations <- cache.invalidations + Table.length cache.table;
+  Table.reset cache.table;
+  Queue.clear cache.order
+
+(* Pop queue pairs until one still names a live entry; pairs whose
+   stamp no longer matches belong to entries already invalidated (and
+   possibly re-inserted under a newer stamp). *)
+let rec evict_one cache =
+  match Queue.take_opt cache.order with
+  | None -> ()
+  | Some (key, stamp) -> (
+    match Table.find_opt cache.table key with
+    | Some entry when entry.stamp = stamp ->
+      Table.remove cache.table key;
+      cache.evictions <- cache.evictions + 1
+    | Some _ | None -> evict_one cache)
+
+let add cache key ~meta_generation ~db_generation decision =
+  if Table.length cache.table >= cache.cap then evict_one cache;
+  let stamp = cache.next_stamp in
+  cache.next_stamp <- stamp + 1;
+  Table.add cache.table key { decision; meta_generation; db_generation; stamp };
+  Queue.add (key, stamp) cache.order
+
+let memoize cache ~subject ~(meta : Meta.t) ~mode ~db_generation compute =
+  let key = Key.of_request ~subject ~meta ~mode in
+  let meta_generation = Meta.generation meta in
+  let miss () =
+    cache.misses <- cache.misses + 1;
+    let decision = compute () in
+    add cache key ~meta_generation ~db_generation decision;
+    decision
+  in
+  match Table.find_opt cache.table key with
+  | None -> miss ()
+  | Some entry ->
+    if entry.meta_generation = meta_generation && entry.db_generation = db_generation
+    then begin
+      cache.hits <- cache.hits + 1;
+      entry.decision
+    end
+    else begin
+      (* The inputs moved underneath the entry: drop it, recompute and
+         re-store under the current generations. *)
+      Table.remove cache.table key;
+      cache.invalidations <- cache.invalidations + 1;
+      miss ()
+    end
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "{hits=%d; misses=%d; evictions=%d; invalidations=%d; size=%d; capacity=%d}" s.hits
+    s.misses s.evictions s.invalidations s.size s.capacity

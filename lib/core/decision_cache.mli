@@ -1,0 +1,67 @@
+(** Memoized protection decisions for the reference monitor.
+
+    The monitor's hot path re-evaluates the full ACL walk plus the
+    MAC/integrity lattice rules on every access; under the repeated,
+    near-identical checks of a busy system (the same subjects touching
+    the same objects in the same modes) almost all of that work
+    recomputes a decision already taken.  This cache memoizes
+    decisions under a key capturing {e everything} a decision reads
+    from the request — subject principal, effective class, trusted
+    bit, integrity label, object identity, access mode — and validates
+    each entry against monotone {e generation counters} covering the
+    mutable inputs:
+
+    - {!Meta.generation}: bumped by every metadata mutation
+      ([set_acl_raw], [set_klass_raw], [set_integrity_raw],
+      [set_owner]), so ACL replacement or relabeling revokes the
+      cached outcome;
+    - {!Principal.Db.generation}: bumped by group-membership changes,
+      so adding or removing a member revokes grants (and denials) that
+      an ACL group entry produced;
+    - the monitor flushes the whole cache on [set_policy].
+
+    A stale entry is never returned: validation failure counts as an
+    invalidation plus a miss, and the entry is recomputed.  The table
+    is bounded ([capacity], FIFO eviction) so an adversarial workload
+    sweeping many (subject, object, mode) triples cannot exhaust
+    memory — it only degrades the hit rate.  Soundness is enforced by
+    the differential oracle suite ([test/test_cache.ml]): a cached and
+    an uncached monitor replaying identical operation streams,
+    including mid-stream revocations, must produce bit-identical
+    decision sequences. *)
+
+type t
+
+type stats = {
+  hits : int;  (** lookups answered from a validated entry *)
+  misses : int;  (** lookups that fell through to a full evaluation *)
+  evictions : int;  (** entries dropped by the capacity bound *)
+  invalidations : int;
+      (** entries dropped because a generation moved (or the cache was
+          flushed by a policy change) *)
+  size : int;  (** live entries *)
+  capacity : int;  (** the bound [size] never exceeds *)
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+val size : t -> int
+val stats : t -> stats
+
+val flush : t -> unit
+(** Drop every entry (counting them as invalidations); used when an
+    input without its own generation counter — the policy — changes. *)
+
+val memoize :
+  t -> subject:Subject.t -> meta:Meta.t -> mode:Access_mode.t ->
+  db_generation:int -> (unit -> Decision.t) -> Decision.t
+(** The cached decision when a validated entry exists (its recorded
+    generations still match [Meta.generation meta] and
+    [db_generation]); otherwise runs the computation and remembers the
+    result under the current generations, evicting the oldest entry
+    when full.  A stale entry is dropped (an invalidation) and
+    recomputed. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -4,6 +4,7 @@ type t = {
   mutable acl : Acl.t;
   mutable klass : Security_class.t;
   mutable integrity : Security_class.t option;
+  mutable generation : int;
 }
 
 let next_id = ref 0
@@ -18,7 +19,7 @@ let make ~owner ?acl ?integrity klass =
     | Some acl -> acl
     | None -> Acl.owner_default owner
   in
-  { id = fresh_id (); owner; acl; klass; integrity }
+  { id = fresh_id (); owner; acl; klass; integrity; generation = 0 }
 
 let copy meta =
   {
@@ -27,12 +28,27 @@ let copy meta =
     acl = meta.acl;
     klass = meta.klass;
     integrity = meta.integrity;
+    generation = 0;
   }
 
-let set_owner meta owner = meta.owner <- owner
-let set_acl_raw meta acl = meta.acl <- acl
-let set_klass_raw meta klass = meta.klass <- klass
-let set_integrity_raw meta integrity = meta.integrity <- integrity
+let generation meta = meta.generation
+let touch meta = meta.generation <- meta.generation + 1
+
+let set_owner meta owner =
+  meta.owner <- owner;
+  touch meta
+
+let set_acl_raw meta acl =
+  meta.acl <- acl;
+  touch meta
+
+let set_klass_raw meta klass =
+  meta.klass <- klass;
+  touch meta
+
+let set_integrity_raw meta integrity =
+  meta.integrity <- integrity;
+  touch meta
 
 let pp ppf meta =
   Format.fprintf ppf "owner=%a class=%a acl=%a" Principal.pp_individual meta.owner

@@ -16,6 +16,10 @@ type t = private {
       (** Biba integrity class, when the deployment labels integrity
           (a separate lattice from [klass]); [None] means unlabelled
           and exempt from integrity rules *)
+  mutable generation : int;
+      (** monotone counter bumped by every setter below; cached
+          protection decisions are validated against it, so any
+          metadata change invalidates them (see {!Decision_cache}) *)
 }
 
 val make :
@@ -28,6 +32,11 @@ val make :
 val copy : t -> t
 (** A metadata record sharing no mutable state with the original; the
     copy has a fresh identity. *)
+
+val generation : t -> int
+(** The current mutation generation; starts at 0 and increases on
+    every [set_*] below.  Never reused within one record, so
+    [(id, generation)] names an immutable snapshot of the metadata. *)
 
 val set_owner : t -> Principal.individual -> unit
 val set_acl_raw : t -> Acl.t -> unit

@@ -32,9 +32,13 @@ module Db = struct
   type t = {
     mutable individual_set : String_set.t;
     members : (group, member list ref) Hashtbl.t;
+    mutable generation : int;
   }
 
-  let create () = { individual_set = String_set.empty; members = Hashtbl.create 16 }
+  let create () =
+    { individual_set = String_set.empty; members = Hashtbl.create 16; generation = 0 }
+
+  let generation db = db.generation
 
   let add_individual db ind =
     db.individual_set <- String_set.add ind db.individual_set
@@ -75,12 +79,20 @@ module Db = struct
           (Printf.sprintf "Principal.Db.add_member: %s <- %s would create a cycle"
              grp nested));
     let slot = member_slot db grp in
-    if not (List.exists (member_equal member) !slot) then slot := member :: !slot
+    if not (List.exists (member_equal member) !slot) then begin
+      slot := member :: !slot;
+      db.generation <- db.generation + 1
+    end
 
   let remove_member db grp member =
     match Hashtbl.find_opt db.members grp with
     | None -> ()
-    | Some slot -> slot := List.filter (fun m -> not (member_equal member m)) !slot
+    | Some slot ->
+      let kept = List.filter (fun m -> not (member_equal member m)) !slot in
+      if List.length kept <> List.length !slot then begin
+        slot := kept;
+        db.generation <- db.generation + 1
+      end
 
   let individuals db = String_set.elements db.individual_set
 

@@ -40,6 +40,13 @@ module Db : sig
   val create : unit -> t
   (** A fresh, empty database. *)
 
+  val generation : t -> int
+  (** Monotone counter bumped whenever group membership actually
+      changes ({!add_member} of a new member, {!remove_member} of a
+      present one).  Cached discretionary decisions are validated
+      against it: a membership change must revoke any grant (or
+      denial) that an ACL group entry produced. *)
+
   val add_individual : t -> individual -> unit
   (** Register an individual.  Idempotent. *)
 

@@ -8,15 +8,29 @@ type t = {
   db : Principal.Db.t;
   mutable policy : Policy.t;
   audit : Audit.t;
+  cache : Decision_cache.t option;
 }
 
-let create ?(policy = Policy.default) ?audit_capacity db =
-  { db; policy; audit = Audit.create ?capacity:audit_capacity () }
+let create ?(policy = Policy.default) ?audit_capacity ?(cache = true)
+    ?(cache_capacity = 8192) db =
+  {
+    db;
+    policy;
+    audit = Audit.create ?capacity:audit_capacity ();
+    cache = (if cache then Some (Decision_cache.create ~capacity:cache_capacity) else None);
+  }
 
 let db monitor = monitor.db
 let policy monitor = monitor.policy
-let set_policy monitor policy = monitor.policy <- policy
+
+let set_policy monitor policy =
+  monitor.policy <- policy;
+  (* The policy has no generation counter of its own; revoke every
+     cached decision instead. *)
+  Option.iter Decision_cache.flush monitor.cache
+
 let audit monitor = monitor.audit
+let cache_stats monitor = Option.map Decision_cache.stats monitor.cache
 
 let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =
   match Acl.check ~db:monitor.db ~subject:(Subject.principal subject) ~mode meta.acl with
@@ -50,7 +64,7 @@ let integrity_decide monitor ~subject ~(meta : Meta.t) ~mode =
         | Ok () -> Ok ()
         | Error denial -> Error (Decision.Integrity_denied denial))
 
-let decide monitor ~subject ~meta ~mode =
+let evaluate monitor ~subject ~meta ~mode =
   let ( let* ) = Result.bind in
   let layers =
     let* () =
@@ -62,6 +76,14 @@ let decide monitor ~subject ~meta ~mode =
     integrity_decide monitor ~subject ~meta ~mode
   in
   Decision.of_result layers
+
+let decide monitor ~subject ~meta ~mode =
+  match monitor.cache with
+  | None -> evaluate monitor ~subject ~meta ~mode
+  | Some cache ->
+    Decision_cache.memoize cache ~subject ~meta ~mode
+      ~db_generation:(Principal.Db.generation monitor.db) (fun () ->
+        evaluate monitor ~subject ~meta ~mode)
 
 let check monitor ~subject ~(meta : Meta.t) ~object_name ~mode =
   let decision = decide monitor ~subject ~meta ~mode in

@@ -15,20 +15,37 @@ exception Access_denied of {
 
 type t
 
-val create : ?policy:Policy.t -> ?audit_capacity:int -> Principal.Db.t -> t
+val create :
+  ?policy:Policy.t -> ?audit_capacity:int -> ?cache:bool -> ?cache_capacity:int ->
+  Principal.Db.t -> t
 (** A monitor over the given principal database.  [policy] defaults to
-    {!Policy.default}. *)
+    {!Policy.default}.  [cache] (default [true]) memoizes decisions in
+    a bounded {!Decision_cache} of [cache_capacity] (default 8192)
+    entries, invalidated by metadata/membership generation counters
+    and flushed on {!set_policy} — see {!Decision_cache} for the
+    soundness argument. *)
 
 val db : t -> Principal.Db.t
 val policy : t -> Policy.t
+
 val set_policy : t -> Policy.t -> unit
+(** Swap the policy; flushes the decision cache, revoking every
+    memoized outcome the old policy produced. *)
+
 val audit : t -> Audit.t
+
+val cache_stats : t -> Decision_cache.stats option
+(** Hit/miss/eviction/invalidation counters and current size of the
+    decision cache; [None] when the monitor was created with
+    [~cache:false]. *)
 
 val decide :
   t -> subject:Subject.t -> meta:Meta.t -> mode:Access_mode.t -> Decision.t
-(** Pure decision: DAC then MAC, no audit record.  The subject's
+(** Decision without an audit record: DAC then MAC.  The subject's
     {e effective} class (clearance capped by any static extension
-    class) is used for the MAC rules. *)
+    class) is used for the MAC rules.  Answered from the decision
+    cache when a validated entry exists; observationally identical to
+    the uncached evaluation. *)
 
 val check :
   t ->

@@ -21,6 +21,7 @@ type t = {
 }
 
 let monitor kernel = kernel.monitor
+let cache_stats kernel = Reference_monitor.cache_stats kernel.monitor
 let quota kernel = kernel.quota
 let resolver kernel = kernel.resolver
 let namespace kernel = Resolver.namespace kernel.resolver
@@ -59,8 +60,8 @@ let error_of_denial = function
   | Resolver.Name_error error ->
     Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error)
 
-let boot ?policy ~db ~admin ~hierarchy ~universe () =
-  let monitor = Reference_monitor.create ?policy db in
+let boot ?policy ?cache ?cache_capacity ~db ~admin ~hierarchy ~universe () =
+  let monitor = Reference_monitor.create ?policy ?cache ?cache_capacity db in
   let bottom = Security_class.bottom hierarchy universe in
   let dir_acl =
     Acl.of_entries [ Acl.allow_all (Acl.Individual admin); Acl.allow Acl.Everyone [ Access_mode.List ] ]

@@ -29,6 +29,8 @@ type t
 
 val boot :
   ?policy:Policy.t ->
+  ?cache:bool ->
+  ?cache_capacity:int ->
   db:Principal.Db.t ->
   admin:Principal.individual ->
   hierarchy:Level.hierarchy ->
@@ -36,9 +38,18 @@ val boot :
   unit ->
   t
 (** Create a kernel.  [admin] owns the root of the name space and the
-    standard directories; every principal can traverse ([List]) them. *)
+    standard directories; every principal can traverse ([List]) them.
+    [cache]/[cache_capacity] are passed to
+    {!Reference_monitor.create}: the decision cache is on by default
+    and can be disabled (or resized) for ablation. *)
 
 val monitor : t -> Reference_monitor.t
+
+val cache_stats : t -> Decision_cache.stats option
+(** The monitor's decision-cache counters (see
+    {!Reference_monitor.cache_stats}); [None] when booted with
+    [~cache:false]. *)
+
 val resolver : t -> entry Resolver.t
 val namespace : t -> entry Namespace.t
 val dispatcher : t -> Dispatcher.t

@@ -34,6 +34,22 @@ let audit_tail_impl kernel _ctx args =
 let namespace_size_impl kernel _ctx _args =
   Ok (Value.int (Namespace.size (Kernel.namespace kernel)))
 
+let cache_stats_impl kernel _ctx _args =
+  match Kernel.cache_stats kernel with
+  | None -> Ok (Value.list [])
+  | Some stats ->
+    let counter name value = Value.pair (Value.str name) (Value.int value) in
+    Ok
+      (Value.list
+         [
+           counter "hits" stats.Decision_cache.hits;
+           counter "misses" stats.Decision_cache.misses;
+           counter "evictions" stats.Decision_cache.evictions;
+           counter "invalidations" stats.Decision_cache.invalidations;
+           counter "size" stats.Decision_cache.size;
+           counter "capacity" stats.Decision_cache.capacity;
+         ])
+
 let install kernel ~subject =
   let owner = Subject.principal subject in
   let open_meta () = Kernel.default_meta kernel ~owner () in
@@ -56,4 +72,5 @@ let install kernel ~subject =
   let* () = install "threads" 0 (open_meta ()) (threads_impl kernel) in
   let* () = install "audit_totals" 0 (open_meta ()) (audit_totals_impl kernel) in
   let* () = install "audit_tail" (-1) (audit_meta ()) (audit_tail_impl kernel) in
-  install "namespace_size" 0 (open_meta ()) (namespace_size_impl kernel)
+  let* () = install "namespace_size" 0 (open_meta ()) (namespace_size_impl kernel) in
+  install "cache_stats" 0 (open_meta ()) (cache_stats_impl kernel)

@@ -15,7 +15,10 @@
     - [threads : () -> list (pair int str)]  live thread ids and names
     - [audit_totals : () -> (granted, denied)]   counters only
     - [audit_tail : int -> list str]      rendered recent events (classified)
-    - [namespace_size : () -> int]        node count *)
+    - [namespace_size : () -> int]        node count
+    - [cache_stats : () -> list (pair str int)]  decision-cache counters
+      (hits, misses, evictions, invalidations, size, capacity; the
+      empty list when the monitor runs uncached) *)
 
 open Exsec_core
 open Exsec_extsys

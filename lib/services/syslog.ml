@@ -68,3 +68,12 @@ let truncate log ~subject =
     (checked_data log ~subject ~mode:Access_mode.Write)
 
 let size log = List.length log.state.entries
+
+let append_cache_stats log ~subject =
+  let line =
+    match Kernel.cache_stats log.kernel with
+    | None -> "monitor cache: disabled"
+    | Some stats ->
+      Format.asprintf "monitor cache: %a" Decision_cache.pp_stats stats
+  in
+  append log ~subject line

@@ -34,3 +34,9 @@ val truncate : t -> subject:Subject.t -> (unit, Service.error) result
 
 val size : t -> int
 (** Unchecked entry count (for tests). *)
+
+val append_cache_stats : t -> subject:Subject.t -> (unit, Service.error) result
+(** Snapshot the kernel monitor's decision-cache counters
+    ({!Kernel.cache_stats}) as one rendered log line — the periodic
+    observability hook an operator scrapes.  Same [Write_append]
+    check as {!append}. *)

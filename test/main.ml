@@ -8,6 +8,7 @@ let () =
       "mac", Test_mac.suite;
       "integrity", Test_integrity.suite;
       "monitor", Test_monitor.suite;
+      "cache", Test_cache.suite;
       "clearance", Test_clearance.suite;
       "flow", Test_flow.suite;
       "policy-text", Test_policy_text.suite;

@@ -1,0 +1,207 @@
+(* Differential oracle for the decision cache: a cached and an
+   uncached monitor sharing one principal database and one object
+   population replay the same seeded operation stream, and every
+   access check must produce bit-identical decisions — including the
+   checks that follow mid-stream revocations (ACL replacement,
+   relabeling, policy swaps, group membership churn).  Any divergence
+   is a stale cache entry, i.e. a protection hole. *)
+
+open Exsec_core
+open Exsec_workload
+
+let check = Alcotest.(check bool)
+let decision = Alcotest.testable Decision.pp Decision.equal
+
+(* {1 Differential replay} *)
+
+let replay ?(cache_capacity = 8192) ~seed ~steps ~mutation_fraction () =
+  let rng = Prng.create ~seed in
+  let env =
+    Opstream.environment rng ~individuals:16 ~groups:4 ~subjects:12 ~objects:24
+      ~levels:3 ~categories:3
+  in
+  let cached = Reference_monitor.create ~cache:true ~cache_capacity env.Opstream.db in
+  let uncached = Reference_monitor.create ~cache:false env.Opstream.db in
+  let ops = Opstream.generate rng env ~steps ~mutation_fraction in
+  List.iteri
+    (fun step op ->
+      match op with
+      | Opstream.Check { subject; object_; mode } ->
+        let subject = env.Opstream.subjects.(subject) in
+        let meta = env.Opstream.metas.(object_) in
+        let oracle = Reference_monitor.decide uncached ~subject ~meta ~mode in
+        let memoized = Reference_monitor.decide cached ~subject ~meta ~mode in
+        Alcotest.check decision
+          (Printf.sprintf "seed %d step %d" seed step)
+          oracle memoized
+      | Opstream.Set_acl { object_; acl } ->
+        Meta.set_acl_raw env.Opstream.metas.(object_) acl
+      | Opstream.Set_class { object_; klass } ->
+        Meta.set_klass_raw env.Opstream.metas.(object_) klass
+      | Opstream.Set_integrity { object_; integrity } ->
+        Meta.set_integrity_raw env.Opstream.metas.(object_) integrity
+      | Opstream.Set_policy policy ->
+        Reference_monitor.set_policy cached policy;
+        Reference_monitor.set_policy uncached policy
+      | Opstream.Join_group { group; ind } ->
+        Principal.Db.add_member env.Opstream.db group (Principal.Ind ind)
+      | Opstream.Leave_group { group; ind } ->
+        Principal.Db.remove_member env.Opstream.db group (Principal.Ind ind))
+    ops;
+  cached
+
+let seeds = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233 ]
+
+let test_differential_check_only () =
+  (* Pure check streams: maximal reuse, zero revocations. *)
+  List.iter
+    (fun seed -> ignore (replay ~seed ~steps:600 ~mutation_fraction:0.0 ()))
+    seeds
+
+let test_differential_with_revocations () =
+  (* One op in five mutates — far hotter churn than any deployment, so
+     every invalidation path (per-object generation, database
+     generation, policy flush) is exercised on every seed. *)
+  List.iter
+    (fun seed -> ignore (replay ~seed ~steps:600 ~mutation_fraction:0.2 ()))
+    seeds
+
+let test_differential_tiny_cache () =
+  (* Capacity 4 forces constant eviction; correctness must not depend
+     on entries surviving. *)
+  List.iter
+    (fun seed ->
+      ignore (replay ~cache_capacity:4 ~seed ~steps:400 ~mutation_fraction:0.1 ()))
+    seeds
+
+(* {1 Explicit revocation scenarios} *)
+
+(* A minimal world where one subject's access hinges on exactly one
+   mutable input, so a stale entry would flip the visible outcome. *)
+let small_world () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  Principal.Db.add_individual db alice;
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [ "c" ] in
+  let bottom = Security_class.bottom hierarchy universe in
+  let top = Security_class.top hierarchy universe in
+  let subject = Subject.make alice bottom in
+  db, alice, subject, bottom, top
+
+let test_acl_change_revokes () =
+  let db, alice, subject, bottom, _top = small_world () in
+  let monitor = Reference_monitor.create ~cache:true db in
+  let meta =
+    Meta.make ~owner:alice
+      ~acl:(Acl.of_entries [ Acl.allow (Acl.Individual alice) [ Access_mode.Read ] ])
+      bottom
+  in
+  let decide () = Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read in
+  Alcotest.check decision "granted before" Decision.Granted (decide ());
+  Alcotest.check decision "cached grant" Decision.Granted (decide ());
+  Meta.set_acl_raw meta (Acl.of_entries [ Acl.deny (Acl.Individual alice) [ Access_mode.Read ] ]);
+  Alcotest.check decision "revoked after ACL swap"
+    (Decision.Denied (Decision.Dac_explicit_deny (Acl.Individual alice)))
+    (decide ())
+
+let test_membership_change_revokes () =
+  let db, alice, subject, bottom, _top = small_world () in
+  let readers = Principal.group "readers" in
+  Principal.Db.add_member db readers (Principal.Ind alice);
+  let monitor = Reference_monitor.create ~cache:true db in
+  let meta =
+    Meta.make ~owner:alice
+      ~acl:(Acl.of_entries [ Acl.allow (Acl.Group readers) [ Access_mode.Read ] ])
+      bottom
+  in
+  let decide () = Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read in
+  Alcotest.check decision "granted via group" Decision.Granted (decide ());
+  Alcotest.check decision "cached grant" Decision.Granted (decide ());
+  Principal.Db.remove_member db readers (Principal.Ind alice);
+  Alcotest.check decision "revoked after leaving group"
+    (Decision.Denied Decision.Dac_no_entry) (decide ());
+  (* Rejoining must also take effect immediately. *)
+  Principal.Db.add_member db readers (Principal.Ind alice);
+  Alcotest.check decision "regranted after rejoining" Decision.Granted (decide ())
+
+let test_relabel_revokes () =
+  let db, alice, subject, bottom, top = small_world () in
+  let monitor = Reference_monitor.create ~cache:true db in
+  let meta =
+    Meta.make ~owner:alice ~acl:(Acl.of_entries [ Acl.allow_all Acl.Everyone ]) bottom
+  in
+  let decide () = Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read in
+  Alcotest.check decision "granted at bottom" Decision.Granted (decide ());
+  Meta.set_klass_raw meta top;
+  check "denied after relabel to top" false (Decision.is_granted (decide ()))
+
+let test_policy_change_revokes () =
+  let db, alice, subject, bottom, top = small_world () in
+  let monitor = Reference_monitor.create ~cache:true db in
+  let meta =
+    Meta.make ~owner:alice ~acl:(Acl.of_entries [ Acl.allow_all Acl.Everyone ]) top
+  in
+  ignore bottom;
+  let decide () = Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read in
+  check "MAC denies read-up" false (Decision.is_granted (decide ()));
+  check "still denied (cached)" false (Decision.is_granted (decide ()));
+  Reference_monitor.set_policy monitor Policy.dac_only;
+  Alcotest.check decision "granted once MAC is off" Decision.Granted (decide ());
+  Reference_monitor.set_policy monitor Policy.default;
+  check "denied again under default" false (Decision.is_granted (decide ()))
+
+(* {1 Counter sanity} *)
+
+let test_stats_hits_and_bound () =
+  let db, alice, subject, bottom, _top = small_world () in
+  let monitor = Reference_monitor.create ~cache:true ~cache_capacity:8 db in
+  let meta =
+    Meta.make ~owner:alice ~acl:(Acl.of_entries [ Acl.allow_all Acl.Everyone ]) bottom
+  in
+  for _ = 1 to 100 do
+    ignore (Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read)
+  done;
+  match Reference_monitor.cache_stats monitor with
+  | None -> Alcotest.fail "cache enabled but no stats"
+  | Some stats ->
+    Alcotest.(check int) "one miss" 1 stats.Decision_cache.misses;
+    Alcotest.(check int) "rest are hits" 99 stats.Decision_cache.hits;
+    check "size within bound" true (stats.Decision_cache.size <= stats.Decision_cache.capacity)
+
+let test_stats_evictions_under_pressure () =
+  let db, alice, subject, bottom, _top = small_world () in
+  let monitor = Reference_monitor.create ~cache:true ~cache_capacity:4 db in
+  let metas =
+    Array.init 32 (fun _ ->
+        Meta.make ~owner:alice ~acl:(Acl.of_entries [ Acl.allow_all Acl.Everyone ]) bottom)
+  in
+  Array.iter
+    (fun meta -> ignore (Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read))
+    metas;
+  match Reference_monitor.cache_stats monitor with
+  | None -> Alcotest.fail "cache enabled but no stats"
+  | Some stats ->
+    check "evictions under pressure" true (stats.Decision_cache.evictions > 0);
+    check "size capped" true (stats.Decision_cache.size <= 4);
+    Alcotest.(check int) "all distinct keys miss" 32 stats.Decision_cache.misses
+
+let test_uncached_monitor_has_no_stats () =
+  let db, _alice, _subject, _bottom, _top = small_world () in
+  let monitor = Reference_monitor.create ~cache:false db in
+  check "no stats when disabled" true (Reference_monitor.cache_stats monitor = None)
+
+let suite =
+  [
+    Alcotest.test_case "differential: check-only streams" `Quick test_differential_check_only;
+    Alcotest.test_case "differential: with revocations" `Quick
+      test_differential_with_revocations;
+    Alcotest.test_case "differential: tiny cache" `Quick test_differential_tiny_cache;
+    Alcotest.test_case "ACL change revokes" `Quick test_acl_change_revokes;
+    Alcotest.test_case "membership change revokes" `Quick test_membership_change_revokes;
+    Alcotest.test_case "relabel revokes" `Quick test_relabel_revokes;
+    Alcotest.test_case "policy change revokes" `Quick test_policy_change_revokes;
+    Alcotest.test_case "stats: hits and bound" `Quick test_stats_hits_and_bound;
+    Alcotest.test_case "stats: evictions" `Quick test_stats_evictions_under_pressure;
+    Alcotest.test_case "stats: disabled monitor" `Quick test_uncached_monitor_has_no_stats;
+  ]

@@ -14,7 +14,10 @@ let check = Alcotest.(check bool)
 type world = {
   kernel : Kernel.t;
   fs : Memfs.t;
+  db : Principal.Db.t;
   subjects : Subject.t array;  (* one fixed-class session per principal *)
+  admin_sub : Subject.t;  (* trusted; its protection mutations succeed *)
+  fuzzers : Principal.group;  (* churned and named in fuzzed ACLs *)
   rng : Prng.t;
 }
 
@@ -41,14 +44,28 @@ let build_world ~seed =
         Principal.Db.add_individual db ind;
         Subject.make ind (Gen.security_class rng hierarchy universe))
   in
-  { kernel; fs; subjects; rng }
+  let fuzzers = Principal.group "fuzzers" in
+  Principal.Db.add_member db fuzzers (Principal.Ind (Principal.individual "fuzz0"));
+  { kernel; fs; db; subjects; admin_sub; fuzzers; rng }
+
+(* Policy flips stay among the MAC-preserving variants: every one of
+   these enforces no-read-up and no-write-down, so the flow-cleanliness
+   invariant must survive flips mid-soak.  (dac_only / unchecked would
+   legitimately grant flows that [Flow.analyse] flags.) *)
+let safe_policies =
+  [
+    Policy.default;
+    { Policy.default with Policy.overwrite = Mac.Liberal };
+    Policy.no_integrity;
+    Policy.with_recheck Policy.default;
+  ]
 
 (* One random operation; outcomes (grant or denial) are irrelevant —
    only crash-freedom and the final invariants matter. *)
 let random_op world step =
   let subject = world.subjects.(Prng.int world.rng (Array.length world.subjects)) in
   let name = Printf.sprintf "f%d" (Prng.int world.rng 12) in
-  match Prng.int world.rng 8 with
+  match Prng.int world.rng 12 with
   | 0 -> ignore (Memfs.create world.fs ~subject name "contents")
   | 1 -> ignore (Memfs.read world.fs ~subject name)
   | 2 -> ignore (Memfs.write world.fs ~subject name (Printf.sprintf "v%d" step))
@@ -59,7 +76,7 @@ let random_op world step =
     ignore
       (Kernel.call world.kernel ~subject ~caller:"fuzz"
          (Path.of_string "/svc/fs/read") [ Value.str name ])
-  | _ -> (
+  | 7 -> (
     (* Occasionally load/unload a small extension. *)
     let ext_name = Printf.sprintf "fx%d" (Prng.int world.rng 3) in
     if Prng.bool world.rng then
@@ -70,6 +87,57 @@ let random_op world step =
               ~provides:[ Extension.provided "probe" 0 (Service.const Value.unit) ]
               ()))
     else ignore (Linker.unload world.kernel ~subject ext_name))
+  | 8 ->
+    (* ACL mutation on a fuzzed file, by the admin (succeeds when the
+       file exists) or by a random subject (usually denied — both
+       paths matter).  The new ACL sometimes names the churned group,
+       so membership changes below flip later outcomes. *)
+    let actor = if Prng.bool world.rng then world.admin_sub else subject in
+    let acl =
+      match Prng.int world.rng 3 with
+      | 0 -> Acl.of_entries [ Acl.allow_all Acl.Everyone ]
+      | 1 ->
+        Acl.of_entries
+          [
+            Acl.allow (Acl.Group world.fuzzers)
+              [ Access_mode.Read; Access_mode.Write; Access_mode.Write_append ];
+          ]
+      | _ ->
+        Acl.of_entries
+          [
+            Acl.deny (Acl.Individual (Subject.principal subject)) [ Access_mode.Read ];
+            Acl.allow_all Acl.Everyone;
+          ]
+    in
+    ignore
+      (Resolver.set_acl (Kernel.resolver world.kernel) ~subject:actor
+         (Path.of_string (Printf.sprintf "/fs/%s" name))
+         acl)
+  | 9 ->
+    (* Policy flip; restricted to the MAC-preserving set above. *)
+    Reference_monitor.set_policy
+      (Kernel.monitor world.kernel)
+      (Prng.choose_list world.rng safe_policies)
+  | 10 ->
+    (* Group membership churn: revokes (or grants) every cached
+       decision that an ACL group entry produced. *)
+    let ind = Principal.individual (Printf.sprintf "fuzz%d" (Prng.int world.rng 6)) in
+    if Prng.bool world.rng then
+      Principal.Db.add_member world.db world.fuzzers (Principal.Ind ind)
+    else Principal.Db.remove_member world.db world.fuzzers (Principal.Ind ind)
+  | _ ->
+    (* Owner-driven ACL mutation through the checked monitor entry
+       point (no resolver traversal): direct set_acl on the file's
+       metadata if it resolves. *)
+    (match Namespace.find (Kernel.namespace world.kernel) (Path.of_string (Printf.sprintf "/fs/%s" name)) with
+    | Ok node ->
+      ignore
+        (Reference_monitor.set_acl
+           (Kernel.monitor world.kernel)
+           ~subject ~meta:(Namespace.meta node)
+           ~object_name:(Printf.sprintf "/fs/%s" name)
+           (Acl.of_entries [ Acl.allow_all Acl.Everyone ]))
+    | Error _ -> ())
 
 let soak ~seed ~steps =
   let world = build_world ~seed in

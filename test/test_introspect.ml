@@ -82,8 +82,8 @@ let test_namespace_size () =
   let alice_sub = Subject.make alice (cls kernel "lo") in
   match call kernel alice_sub "namespace_size" [] with
   | Ok (Value.Int n) ->
-    (* root + 3 std dirs + introspect dir + 5 procs = 10 *)
-    Alcotest.(check int) "node count" 10 n
+    (* root + 3 std dirs + introspect dir + 6 procs = 11 *)
+    Alcotest.(check int) "node count" 11 n
   | _ -> Alcotest.fail "namespace_size"
 
 let suite =

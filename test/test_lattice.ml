@@ -142,6 +142,10 @@ let arb_class =
   in
   QCheck.make gen
 
+let prop_dominance_reflexive =
+  QCheck.Test.make ~name:"dominance reflexive" ~count:100 arb_class (fun a ->
+      Security_class.dominates a a)
+
 let prop_dominance_antisymmetric =
   QCheck.Test.make ~name:"dominance antisymmetric" ~count:300
     (QCheck.pair arb_class arb_class) (fun (a, b) ->
@@ -181,6 +185,35 @@ let prop_join_meet_idempotent =
       Security_class.equal (Security_class.join a a) a
       && Security_class.equal (Security_class.meet a a) a)
 
+let prop_join_meet_commutative =
+  QCheck.Test.make ~name:"join/meet commutative" ~count:300
+    (QCheck.pair arb_class arb_class) (fun (a, b) ->
+      Security_class.equal (Security_class.join a b) (Security_class.join b a)
+      && Security_class.equal (Security_class.meet a b) (Security_class.meet b a))
+
+let prop_join_meet_associative =
+  QCheck.Test.make ~name:"join/meet associative" ~count:300
+    (QCheck.triple arb_class arb_class arb_class) (fun (a, b, c) ->
+      Security_class.equal
+        (Security_class.join a (Security_class.join b c))
+        (Security_class.join (Security_class.join a b) c)
+      && Security_class.equal
+           (Security_class.meet a (Security_class.meet b c))
+           (Security_class.meet (Security_class.meet a b) c))
+
+let prop_absorption =
+  QCheck.Test.make ~name:"absorption laws" ~count:300
+    (QCheck.pair arb_class arb_class) (fun (a, b) ->
+      Security_class.equal (Security_class.join a (Security_class.meet a b)) a
+      && Security_class.equal (Security_class.meet a (Security_class.join a b)) a)
+
+let prop_dominance_consistent_with_join =
+  (* a >= b iff join a b = a — the order and the algebra agree. *)
+  QCheck.Test.make ~name:"dominance consistent with join" ~count:300
+    (QCheck.pair arb_class arb_class) (fun (a, b) ->
+      Security_class.dominates a b
+      = Security_class.equal (Security_class.join a b) a)
+
 let suite =
   [
     Alcotest.test_case "level order" `Quick test_level_order;
@@ -196,9 +229,14 @@ let suite =
     Alcotest.test_case "level/category tradeoff" `Quick test_level_vs_category_tradeoff;
     Alcotest.test_case "join/meet" `Quick test_join_meet;
     Alcotest.test_case "top/bottom class" `Quick test_top_bottom_class;
+    QCheck_alcotest.to_alcotest prop_dominance_reflexive;
     QCheck_alcotest.to_alcotest prop_dominance_antisymmetric;
     QCheck_alcotest.to_alcotest prop_dominance_transitive;
     QCheck_alcotest.to_alcotest prop_join_is_lub;
     QCheck_alcotest.to_alcotest prop_meet_is_glb;
     QCheck_alcotest.to_alcotest prop_join_meet_idempotent;
+    QCheck_alcotest.to_alcotest prop_join_meet_commutative;
+    QCheck_alcotest.to_alcotest prop_join_meet_associative;
+    QCheck_alcotest.to_alcotest prop_absorption;
+    QCheck_alcotest.to_alcotest prop_dominance_consistent_with_join;
   ]
