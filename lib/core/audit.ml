@@ -8,7 +8,11 @@ type event = {
   decision : Decision.t;
 }
 
+(* The ring, counters and sequence number move together; one mutex
+   keeps a multi-domain recording burst from tearing them apart
+   (e.g. two events under one seq, or granted + denied <> total). *)
 type t = {
+  lock : Mutex.t;
   capacity : int;
   ring : event option array;
   mutable next_seq : int;
@@ -18,35 +22,53 @@ type t = {
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next_seq = 0; granted = 0; denied = 0 }
+  {
+    lock = Mutex.create ();
+    capacity;
+    ring = Array.make capacity None;
+    next_seq = 0;
+    granted = 0;
+    denied = 0;
+  }
 
 let record log ~subject ~object_name ~object_id ~object_class ~mode decision =
-  let event =
-    { seq = log.next_seq; subject; object_name; object_id; object_class; mode; decision }
-  in
-  log.ring.(log.next_seq mod log.capacity) <- Some event;
-  log.next_seq <- log.next_seq + 1;
-  if Decision.is_granted decision then log.granted <- log.granted + 1
-  else log.denied <- log.denied + 1
+  Mutex.protect log.lock (fun () ->
+      let event =
+        {
+          seq = log.next_seq;
+          subject;
+          object_name;
+          object_id;
+          object_class;
+          mode;
+          decision;
+        }
+      in
+      log.ring.(log.next_seq mod log.capacity) <- Some event;
+      log.next_seq <- log.next_seq + 1;
+      if Decision.is_granted decision then log.granted <- log.granted + 1
+      else log.denied <- log.denied + 1)
 
 let events log =
-  let collected = ref [] in
-  for i = log.next_seq - 1 downto Stdlib.max 0 (log.next_seq - log.capacity) do
-    match log.ring.(i mod log.capacity) with
-    | Some event -> collected := event :: !collected
-    | None -> ()
-  done;
-  !collected
+  Mutex.protect log.lock (fun () ->
+      let collected = ref [] in
+      for i = log.next_seq - 1 downto Stdlib.max 0 (log.next_seq - log.capacity) do
+        match log.ring.(i mod log.capacity) with
+        | Some event -> collected := event :: !collected
+        | None -> ()
+      done;
+      !collected)
 
-let granted_total log = log.granted
-let denied_total log = log.denied
-let total log = log.granted + log.denied
+let granted_total log = Mutex.protect log.lock (fun () -> log.granted)
+let denied_total log = Mutex.protect log.lock (fun () -> log.denied)
+let total log = Mutex.protect log.lock (fun () -> log.granted + log.denied)
 
 let clear log =
-  Array.fill log.ring 0 log.capacity None;
-  log.next_seq <- 0;
-  log.granted <- 0;
-  log.denied <- 0
+  Mutex.protect log.lock (fun () ->
+      Array.fill log.ring 0 log.capacity None;
+      log.next_seq <- 0;
+      log.granted <- 0;
+      log.denied <- 0)
 
 let pp_event ppf event =
   Format.fprintf ppf "#%d %a %a %s: %a" event.seq Subject.pp event.subject

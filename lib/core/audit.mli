@@ -3,7 +3,12 @@
     The paper lists auditing among the concerns an access-control
     model must support.  The reference monitor records every decision
     here; the log keeps the most recent [capacity] events plus running
-    totals, so long benchmarks do not grow memory without bound. *)
+    totals, so long benchmarks do not grow memory without bound.
+
+    Every operation takes the log's internal mutex, so recording from
+    multiple domains is safe and the totals stay conserved:
+    [granted_total + denied_total] always equals the number of
+    completed {!record} calls. *)
 
 type event = {
   seq : int;  (** monotonically increasing event number *)

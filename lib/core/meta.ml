@@ -4,14 +4,12 @@ type t = {
   mutable acl : Acl.t;
   mutable klass : Security_class.t;
   mutable integrity : Security_class.t option;
-  mutable generation : int;
+  generation : int Atomic.t;
 }
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let make ~owner ?acl ?integrity klass =
   let acl =
@@ -19,7 +17,7 @@ let make ~owner ?acl ?integrity klass =
     | Some acl -> acl
     | None -> Acl.owner_default owner
   in
-  { id = fresh_id (); owner; acl; klass; integrity; generation = 0 }
+  { id = fresh_id (); owner; acl; klass; integrity; generation = Atomic.make 0 }
 
 let copy meta =
   {
@@ -28,11 +26,21 @@ let copy meta =
     acl = meta.acl;
     klass = meta.klass;
     integrity = meta.integrity;
-    generation = 0;
+    generation = Atomic.make 0;
   }
 
-let generation meta = meta.generation
-let touch meta = meta.generation <- meta.generation + 1
+let generation meta = Atomic.get meta.generation
+
+(* Publication order: every setter below lands its field write first
+   and bumps the generation after.  A reader that (a) reads the
+   generation, (b) recomputes from the fields, and (c) stores the
+   result under the generation read in (a) can therefore never
+   produce an entry that outlives the mutation: either the read
+   generation predates the bump (the entry is born stale and fails
+   validation on its next lookup) or it includes the bump, in which
+   case the atomic read synchronizes with the increment and the field
+   writes are visible. *)
+let touch meta = Atomic.incr meta.generation
 
 let set_owner meta owner =
   meta.owner <- owner;

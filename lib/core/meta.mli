@@ -8,7 +8,9 @@
 type t = private {
   id : int;  (** unique object identity, assigned at creation; names
                  can be reused (delete + recreate), identities never
-                 are — flow analysis depends on this *)
+                 are — flow analysis depends on this.  Identities are
+                 drawn from a process-wide atomic counter, so objects
+                 may be created from any domain *)
   mutable owner : Principal.individual;
   mutable acl : Acl.t;
   mutable klass : Security_class.t;  (** confidentiality class *)
@@ -16,10 +18,20 @@ type t = private {
       (** Biba integrity class, when the deployment labels integrity
           (a separate lattice from [klass]); [None] means unlabelled
           and exempt from integrity rules *)
-  mutable generation : int;
+  generation : int Atomic.t;
       (** monotone counter bumped by every setter below; cached
           protection decisions are validated against it, so any
-          metadata change invalidates them (see {!Decision_cache}) *)
+          metadata change invalidates them (see {!Decision_cache}).
+
+          Ordering contract (the cache's soundness hinges on it): a
+          setter writes the field {e first} and bumps the generation
+          {e after}, so observing a bumped value through {!generation}
+          synchronizes with the increment and guarantees the field
+          write is visible.  Symmetrically, consumers must read the
+          generation {e before} recomputing from the fields and store
+          any derived result under that pre-read value — a concurrent
+          mutation then always lands a higher generation than the one
+          the stale derivation was filed under. *)
 }
 
 val make :
@@ -44,6 +56,7 @@ val set_klass_raw : t -> Security_class.t -> unit
 val set_integrity_raw : t -> Security_class.t option -> unit
 (** Unchecked field updates (the record is private so identities
     cannot be forged); normal code mutates through the reference
-    monitor's [set_acl]/[set_class]. *)
+    monitor's [set_acl]/[set_class].  Each setter publishes
+    field-then-generation, per the ordering contract above. *)
 
 val pp : Format.formatter -> t -> unit

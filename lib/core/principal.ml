@@ -32,13 +32,17 @@ module Db = struct
   type t = {
     mutable individual_set : String_set.t;
     members : (group, member list ref) Hashtbl.t;
-    mutable generation : int;
+    generation : int Atomic.t;
   }
 
   let create () =
-    { individual_set = String_set.empty; members = Hashtbl.create 16; generation = 0 }
+    {
+      individual_set = String_set.empty;
+      members = Hashtbl.create 16;
+      generation = Atomic.make 0;
+    }
 
-  let generation db = db.generation
+  let generation db = Atomic.get db.generation
 
   let add_individual db ind =
     db.individual_set <- String_set.add ind db.individual_set
@@ -60,28 +64,40 @@ module Db = struct
     | Ind _, Grp _ | Grp _, Ind _ -> false
 
   (* Does [target] appear, transitively, among the member groups of
-     [grp]?  Used to reject membership cycles. *)
+     [grp]?  Used to reject membership cycles.  Read-only: an unknown
+     group has no members, so probing it must not register it — the
+     validation pass of [add_member] runs before any mutation. *)
   let rec reaches db grp target =
     equal_group grp target
     || List.exists
          (function
            | Ind _ -> false
            | Grp nested -> reaches db nested target)
-         !(member_slot db grp)
+         (match Hashtbl.find_opt db.members grp with
+         | Some slot -> !slot
+         | None -> [])
 
+  (* Validate first, mutate only on success: a rejected insertion must
+     leave the database — registered groups, member lists and the
+     generation — exactly as it found it. *)
   let add_member db grp member =
     (match member with
-    | Ind ind -> add_individual db ind
+    | Ind _ -> ()
     | Grp nested ->
-      add_group db nested;
       if reaches db nested grp then
         invalid_arg
           (Printf.sprintf "Principal.Db.add_member: %s <- %s would create a cycle"
              grp nested));
+    (match member with
+    | Ind ind -> add_individual db ind
+    | Grp nested -> add_group db nested);
     let slot = member_slot db grp in
     if not (List.exists (member_equal member) !slot) then begin
       slot := member :: !slot;
-      db.generation <- db.generation + 1
+      (* Membership lands above, generation bumps after: a reader that
+         observes the bumped generation also sees the new list (see
+         the ordering contract in Meta). *)
+      Atomic.incr db.generation
     end
 
   let remove_member db grp member =
@@ -91,7 +107,7 @@ module Db = struct
       let kept = List.filter (fun m -> not (member_equal member m)) !slot in
       if List.length kept <> List.length !slot then begin
         slot := kept;
-        db.generation <- db.generation + 1
+        Atomic.incr db.generation
       end
 
   let individuals db = String_set.elements db.individual_set

@@ -33,7 +33,16 @@ type member =
   | Ind of individual
   | Grp of group  (** nested group *)
 
-(** The principal database. *)
+(** The principal database.
+
+    Concurrency: membership churn on {e already-registered} groups and
+    individuals ([add_member]/[remove_member]) is safe concurrent with
+    readers — member lists are immutable values swapped through a
+    reference, and the atomic generation publishes each change.
+    Registering {e new} groups or individuals restructures internal
+    tables and must happen before readers run in other domains
+    (setup-time, or externally synchronized); see the "Concurrency
+    model" section of DESIGN.md. *)
 module Db : sig
   type t
 
@@ -45,7 +54,14 @@ module Db : sig
       changes ({!add_member} of a new member, {!remove_member} of a
       present one).  Cached discretionary decisions are validated
       against it: a membership change must revoke any grant (or
-      denial) that an ACL group entry produced. *)
+      denial) that an ACL group entry produced.
+
+      The counter is atomic and follows the data-then-generation
+      publication order (see {!Meta.t}): the member-list update lands
+      first, the bump after, so a reader that sees the bumped value
+      also sees the new membership.  Consumers must read the
+      generation {e before} walking memberships and file any derived
+      result under that pre-read value. *)
 
   val add_individual : t -> individual -> unit
   (** Register an individual.  Idempotent. *)
@@ -55,7 +71,9 @@ module Db : sig
 
   val add_member : t -> group -> member -> unit
   (** [add_member db g m] adds [m] to group [g], registering [g] (and
-      an individual member) on the fly.
+      an individual member) on the fly.  Validation precedes every
+      mutation: a rejected insertion leaves the database — registered
+      groups, member lists and the generation — untouched.
       @raise Invalid_argument if adding a group member would create a
       membership cycle. *)
 

@@ -7,17 +7,28 @@ exception Access_denied of {
 type t = {
   db : Principal.Db.t;
   mutable policy : Policy.t;
+  policy_epoch : int Atomic.t;
+      (* Generation counter for the policy, mirroring Meta.generation
+         for metadata: [set_policy] writes the policy first and bumps
+         the epoch after, and cached entries are filed under the epoch
+         read before their computation.  The flush alone is not
+         enough: a decision computed under the old policy but stored
+         after the flush would otherwise survive as a stale entry. *)
   audit : Audit.t;
   cache : Decision_cache.t option;
 }
 
 let create ?(policy = Policy.default) ?audit_capacity ?(cache = true)
-    ?(cache_capacity = 8192) db =
+    ?(cache_capacity = 8192) ?cache_shards db =
   {
     db;
     policy;
+    policy_epoch = Atomic.make 0;
     audit = Audit.create ?capacity:audit_capacity ();
-    cache = (if cache then Some (Decision_cache.create ~capacity:cache_capacity) else None);
+    cache =
+      (if cache then
+         Some (Decision_cache.create ?shards:cache_shards ~capacity:cache_capacity ())
+       else None);
   }
 
 let db monitor = monitor.db
@@ -25,8 +36,10 @@ let policy monitor = monitor.policy
 
 let set_policy monitor policy =
   monitor.policy <- policy;
-  (* The policy has no generation counter of its own; revoke every
-     cached decision instead. *)
+  (* Bump after the policy write lands (data-then-generation, as in
+     Meta): any entry filed under the previous epoch can never
+     validate again.  The flush is memory hygiene on top. *)
+  Atomic.incr monitor.policy_epoch;
   Option.iter Decision_cache.flush monitor.cache
 
 let audit monitor = monitor.audit
@@ -81,9 +94,13 @@ let decide monitor ~subject ~meta ~mode =
   match monitor.cache with
   | None -> evaluate monitor ~subject ~meta ~mode
   | Some cache ->
-    Decision_cache.memoize cache ~subject ~meta ~mode
-      ~db_generation:(Principal.Db.generation monitor.db) (fun () ->
-        evaluate monitor ~subject ~meta ~mode)
+    (* Both global generations are read before the evaluation (the
+       meta generation is read inside [memoize], likewise before);
+       see the ordering argument in Decision_cache. *)
+    let db_generation = Principal.Db.generation monitor.db in
+    let policy_generation = Atomic.get monitor.policy_epoch in
+    Decision_cache.memoize cache ~subject ~meta ~mode ~db_generation ~policy_generation
+      (fun () -> evaluate monitor ~subject ~meta ~mode)
 
 let check monitor ~subject ~(meta : Meta.t) ~object_name ~mode =
   let decision = decide monitor ~subject ~meta ~mode in

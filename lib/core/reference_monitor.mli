@@ -17,20 +17,30 @@ type t
 
 val create :
   ?policy:Policy.t -> ?audit_capacity:int -> ?cache:bool -> ?cache_capacity:int ->
-  Principal.Db.t -> t
+  ?cache_shards:int -> Principal.Db.t -> t
 (** A monitor over the given principal database.  [policy] defaults to
     {!Policy.default}.  [cache] (default [true]) memoizes decisions in
     a bounded {!Decision_cache} of [cache_capacity] (default 8192)
-    entries, invalidated by metadata/membership generation counters
-    and flushed on {!set_policy} — see {!Decision_cache} for the
-    soundness argument. *)
+    entries split into [cache_shards] independently locked shards
+    (default: the recognized domain count), invalidated by
+    metadata/membership/policy generation counters — see
+    {!Decision_cache} for the soundness argument.
+
+    The monitor is safe to share across OCaml 5 domains: the decision
+    cache takes one per-shard lock per lookup, the audit ring takes
+    its own mutex per record, and the generation counters are atomic
+    with a data-then-generation publication order (DESIGN.md,
+    "Concurrency model").  Registering {e new} principals or groups in
+    the database remains a setup-time operation. *)
 
 val db : t -> Principal.Db.t
 val policy : t -> Policy.t
 
 val set_policy : t -> Policy.t -> unit
-(** Swap the policy; flushes the decision cache, revoking every
-    memoized outcome the old policy produced. *)
+(** Swap the policy; bumps the monitor's policy epoch and flushes the
+    decision cache, revoking every memoized outcome the old policy
+    produced — including decisions still being computed during the
+    swap, which the epoch validation catches after the flush. *)
 
 val audit : t -> Audit.t
 

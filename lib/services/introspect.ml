@@ -48,6 +48,7 @@ let cache_stats_impl kernel _ctx _args =
            counter "invalidations" stats.Decision_cache.invalidations;
            counter "size" stats.Decision_cache.size;
            counter "capacity" stats.Decision_cache.capacity;
+           counter "shards" stats.Decision_cache.shards;
          ])
 
 let install kernel ~subject =

@@ -51,17 +51,21 @@ let free pool handle =
     Hashtbl.remove pool.buffers handle;
     Ok ()
 
+(* All-or-nothing: a payload that does not fully fit is rejected and
+   the buffer is left untouched.  The previous contract silently
+   truncated to the remaining room whenever the buffer was partly
+   full (Overflow was only reported at room = 0), so callers lost
+   payload tails without any error to act on. *)
 let write pool handle payload =
   match lookup pool handle with
   | Error e -> Error e
   | Ok buffer ->
     let room = buffer.capacity - Buffer.length buffer.data in
-    let take = Stdlib.min room (Bytes.length payload) in
-    if take < Bytes.length payload && room = 0 then
+    if Bytes.length payload > room then
       Error (Overflow { capacity = buffer.capacity; requested = Bytes.length payload })
     else begin
-      Buffer.add_subbytes buffer.data payload 0 take;
-      Ok take
+      Buffer.add_bytes buffer.data payload;
+      Ok (Bytes.length payload)
     end
 
 let read pool handle =

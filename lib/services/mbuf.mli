@@ -8,7 +8,7 @@
 
     - [alloc : () -> int]                fresh handle
     - [free : int -> ()]                 return the buffer
-    - [write : int * blob -> int]        append data, returns bytes taken
+    - [write : int * blob -> int]        append whole payload, or overflow
     - [read : int -> blob]               current contents
     - [reset : int -> ()]                empty the buffer
     - [stats : () -> (allocated, live, capacity)] *)
@@ -32,7 +32,11 @@ type error =
 val alloc : t -> (int, error) result
 val free : t -> int -> (unit, error) result
 val write : t -> int -> bytes -> (int, error) result
-(** Appends as much as fits; returns the byte count accepted. *)
+(** All-or-nothing append: when the whole payload fits in the
+    buffer's remaining room it is appended and its full length
+    returned; otherwise [Error (Overflow _)] and the buffer is left
+    untouched.  A successful write never returns fewer bytes than the
+    payload carries — there are no silent short writes. *)
 
 val read : t -> int -> (bytes, error) result
 val reset : t -> int -> (unit, error) result

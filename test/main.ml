@@ -30,6 +30,7 @@ let () =
       "introspect", Test_introspect.suite;
       "baselines", Test_baselines.suite;
       "workload", Test_workload.suite;
+      "parallel", Test_parallel.suite;
       "integration", Test_integration.suite;
       "fuzz", Test_fuzz.suite;
       "shell", Test_shell.suite;

@@ -14,13 +14,15 @@ let decision = Alcotest.testable Decision.pp Decision.equal
 
 (* {1 Differential replay} *)
 
-let replay ?(cache_capacity = 8192) ~seed ~steps ~mutation_fraction () =
+let replay ?(cache_capacity = 8192) ?cache_shards ~seed ~steps ~mutation_fraction () =
   let rng = Prng.create ~seed in
   let env =
     Opstream.environment rng ~individuals:16 ~groups:4 ~subjects:12 ~objects:24
       ~levels:3 ~categories:3
   in
-  let cached = Reference_monitor.create ~cache:true ~cache_capacity env.Opstream.db in
+  let cached =
+    Reference_monitor.create ~cache:true ~cache_capacity ?cache_shards env.Opstream.db
+  in
   let uncached = Reference_monitor.create ~cache:false env.Opstream.db in
   let ops = Opstream.generate rng env ~steps ~mutation_fraction in
   List.iteri
@@ -72,6 +74,16 @@ let test_differential_tiny_cache () =
   List.iter
     (fun seed ->
       ignore (replay ~cache_capacity:4 ~seed ~steps:400 ~mutation_fraction:0.1 ()))
+    seeds
+
+let test_differential_sharded () =
+  (* Many shards on a small table: keys spread thin, every shard's
+     FIFO and counters run; decisions must stay oracle-identical. *)
+  List.iter
+    (fun seed ->
+      ignore
+        (replay ~cache_capacity:32 ~cache_shards:8 ~seed ~steps:400
+           ~mutation_fraction:0.15 ()))
     seeds
 
 (* {1 Explicit revocation scenarios} *)
@@ -186,6 +198,114 @@ let test_stats_evictions_under_pressure () =
     check "size capped" true (stats.Decision_cache.size <= 4);
     Alcotest.(check int) "all distinct keys miss" 32 stats.Decision_cache.misses
 
+(* {1 Internal queue bounds under churn}
+
+   Invalidation removes the table entry but leaves its (key, stamp)
+   pair in the eviction queue; before the stale-pair accounting, a
+   workload that stayed below capacity while invalidating every entry
+   grew the queue without bound (the only drain, evict_one, runs at
+   capacity).  This drives exactly that workload against the cache
+   directly and pins the invariant queue = size + pending-stale, with
+   the queue never exceeding twice the capacity. *)
+
+let churn_world () =
+  let db, alice, subject, bottom, _top = small_world () in
+  ignore db;
+  let metas =
+    Array.init 8 (fun _ ->
+        Meta.make ~owner:alice ~acl:(Acl.of_entries [ Acl.allow_all Acl.Everyone ]) bottom)
+  in
+  subject, metas
+
+let test_churn_queue_bounded () =
+  let subject, metas = churn_world () in
+  let cache = Decision_cache.create ~shards:4 ~capacity:64 () in
+  let rounds = 500 in
+  let decide meta =
+    ignore
+      (Decision_cache.memoize cache ~subject ~meta ~mode:Access_mode.Read
+         ~db_generation:0 ~policy_generation:0 (fun () -> Decision.Granted))
+  in
+  for _ = 1 to rounds do
+    Array.iter
+      (fun meta ->
+        (* Bump the generation, then decide twice: the first lookup
+           invalidates the stale entry (a miss), the second hits. *)
+        Meta.set_acl_raw meta (Acl.of_entries [ Acl.allow_all Acl.Everyone ]);
+        decide meta;
+        decide meta)
+      metas;
+    Alcotest.(check int)
+      "queue = size + pending-stale"
+      (Decision_cache.size cache + Decision_cache.pending_stale cache)
+      (Decision_cache.queue_length cache);
+    check "queue bounded by 2*capacity" true
+      (Decision_cache.queue_length cache <= 2 * Decision_cache.capacity cache)
+  done;
+  let population = Array.length metas in
+  let stats = Decision_cache.stats cache in
+  (* Exact accounting: every round misses once and hits once per
+     object; every round after the first also invalidates each
+     object's stale entry.  The table never reaches capacity, so no
+     evictions — before the queue fix that is precisely the regime
+     that leaked. *)
+  Alcotest.(check int) "misses" (rounds * population) stats.Decision_cache.misses;
+  Alcotest.(check int) "hits" (rounds * population) stats.Decision_cache.hits;
+  Alcotest.(check int)
+    "invalidations"
+    ((rounds - 1) * population)
+    stats.Decision_cache.invalidations;
+  Alcotest.(check int) "no evictions below capacity" 0 stats.Decision_cache.evictions;
+  Alcotest.(check int) "live entries" population stats.Decision_cache.size;
+  Alcotest.(check int)
+    "hits + misses = decisions"
+    (2 * rounds * population)
+    (stats.Decision_cache.hits + stats.Decision_cache.misses)
+
+let test_churn_seeded_stream () =
+  (* Same invariant under a seeded mixed stream that keeps the table
+     small while invalidating from every path (per-object generation,
+     db generation, policy epoch). *)
+  let rng = Prng.create ~seed:377 in
+  let env =
+    Opstream.environment rng ~individuals:8 ~groups:3 ~subjects:6 ~objects:8 ~levels:2
+      ~categories:2
+  in
+  let monitor =
+    Reference_monitor.create ~cache:true ~cache_capacity:128 ~cache_shards:2
+      env.Opstream.db
+  in
+  let ops = Opstream.generate rng env ~steps:2000 ~mutation_fraction:0.5 in
+  let decisions = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Opstream.Check { subject; object_; mode } ->
+        incr decisions;
+        ignore
+          (Reference_monitor.decide monitor ~subject:env.Opstream.subjects.(subject)
+             ~meta:env.Opstream.metas.(object_) ~mode)
+      | Opstream.Set_acl { object_; acl } ->
+        Meta.set_acl_raw env.Opstream.metas.(object_) acl
+      | Opstream.Set_class { object_; klass } ->
+        Meta.set_klass_raw env.Opstream.metas.(object_) klass
+      | Opstream.Set_integrity { object_; integrity } ->
+        Meta.set_integrity_raw env.Opstream.metas.(object_) integrity
+      | Opstream.Set_policy policy -> Reference_monitor.set_policy monitor policy
+      | Opstream.Join_group { group; ind } ->
+        Principal.Db.add_member env.Opstream.db group (Principal.Ind ind)
+      | Opstream.Leave_group { group; ind } ->
+        Principal.Db.remove_member env.Opstream.db group (Principal.Ind ind))
+    ops;
+  match Reference_monitor.cache_stats monitor with
+  | None -> Alcotest.fail "cache enabled but no stats"
+  | Some stats ->
+    Alcotest.(check int)
+      "hits + misses = decisions" !decisions
+      (stats.Decision_cache.hits + stats.Decision_cache.misses);
+    check "size within bound" true
+      (stats.Decision_cache.size <= stats.Decision_cache.capacity)
+
 let test_uncached_monitor_has_no_stats () =
   let db, _alice, _subject, _bottom, _top = small_world () in
   let monitor = Reference_monitor.create ~cache:false db in
@@ -197,11 +317,15 @@ let suite =
     Alcotest.test_case "differential: with revocations" `Quick
       test_differential_with_revocations;
     Alcotest.test_case "differential: tiny cache" `Quick test_differential_tiny_cache;
+    Alcotest.test_case "differential: sharded cache" `Quick test_differential_sharded;
     Alcotest.test_case "ACL change revokes" `Quick test_acl_change_revokes;
     Alcotest.test_case "membership change revokes" `Quick test_membership_change_revokes;
     Alcotest.test_case "relabel revokes" `Quick test_relabel_revokes;
     Alcotest.test_case "policy change revokes" `Quick test_policy_change_revokes;
     Alcotest.test_case "stats: hits and bound" `Quick test_stats_hits_and_bound;
     Alcotest.test_case "stats: evictions" `Quick test_stats_evictions_under_pressure;
+    Alcotest.test_case "churn: queue bounded below capacity" `Quick
+      test_churn_queue_bounded;
+    Alcotest.test_case "churn: seeded stream accounting" `Quick test_churn_seeded_stream;
     Alcotest.test_case "stats: disabled monitor" `Quick test_uncached_monitor_has_no_stats;
   ]

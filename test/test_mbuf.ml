@@ -29,11 +29,18 @@ let test_write_read_reset () =
   let wrote = Result.get_ok (Mbuf.write pool h (Bytes.of_string "hello")) in
   Alcotest.(check int) "wrote" 5 wrote;
   Alcotest.(check string) "read" "hello" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
-  (* Appending past capacity takes what fits. *)
-  let wrote2 = Result.get_ok (Mbuf.write pool h (Bytes.of_string "worldly")) in
-  Alcotest.(check int) "partial" 3 wrote2;
-  Alcotest.(check string) "capped" "hellowor" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
-  (* A full buffer overflows. *)
+  (* A payload that does not fully fit is rejected whole — no silent
+     short write — and the buffer is left untouched. *)
+  (match Mbuf.write pool h (Bytes.of_string "worldly") with
+  | Error (Mbuf.Overflow { capacity = 8; requested = 7 }) -> ()
+  | _ -> Alcotest.fail "expected overflow on partial fit");
+  Alcotest.(check string) "untouched after overflow" "hello"
+    (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
+  (* Exactly filling the remaining room still succeeds... *)
+  let wrote2 = Result.get_ok (Mbuf.write pool h (Bytes.of_string "wor")) in
+  Alcotest.(check int) "exact fit" 3 wrote2;
+  Alcotest.(check string) "filled" "hellowor" (Bytes.to_string (Result.get_ok (Mbuf.read pool h)));
+  (* ...and a full buffer overflows even for one byte. *)
   (match Mbuf.write pool h (Bytes.of_string "x") with
   | Error (Mbuf.Overflow _) -> ()
   | _ -> Alcotest.fail "expected overflow");

@@ -1,0 +1,221 @@
+(* Multi-domain stress suite for the domain-safe reference monitor.
+
+   Four reader domains replay seeded check-only Opstream streams
+   against one shared monitor while a mutator domain churns ACLs,
+   classes, group memberships and the active policy.  Invariants:
+
+   - no crash and no torn state (the data-then-generation publication
+     order of Meta/Principal.Db plus the cache's per-shard locks);
+   - revocation barrier: after the mutator revokes the barrier
+     object's ACL and publishes the round number, every reader's next
+     look at that object must be denied — a grant would be a stale
+     cache entry surviving a revocation, i.e. a protection hole;
+   - conservation: cache hits + misses equals decisions taken, and the
+     audit ring's granted + denied totals equal checks recorded.
+
+   This module must not [open Exsec_extsys]: that library's [Domain]
+   (protection domains, after the paper) would shadow stdlib [Domain]
+   (OCaml parallelism). *)
+
+open Exsec_core
+open Exsec_workload
+
+let check = Alcotest.(check bool)
+
+(* {1 Readers vs. mutator} *)
+
+let readers = 4
+let rounds = 40
+let mutations_per_round = 20
+
+let test_stress_readers_vs_mutator () =
+  let rng = Prng.create ~seed:1997 in
+  let env =
+    Opstream.environment rng ~individuals:16 ~groups:4 ~subjects:12 ~objects:24
+      ~levels:3 ~categories:3
+  in
+  (* Small capacity so concurrent eviction runs alongside concurrent
+     invalidation; one shard per reader. *)
+  let monitor =
+    Reference_monitor.create ~cache:true ~cache_capacity:64 ~cache_shards:readers
+      env.Opstream.db
+  in
+  (* The barrier object and its observer live outside the generated
+     environment, so its only mutations are the mutator's revocations:
+     at bottom class with an unlabelled integrity slot, the observer's
+     outcome hinges on the ACL alone under every DAC-enabled policy. *)
+  let bottom = Security_class.bottom env.Opstream.hierarchy env.Opstream.universe in
+  let warden = Principal.individual "warden" in
+  let observer_ind = Principal.individual "observer" in
+  Principal.Db.add_individual env.Opstream.db warden;
+  Principal.Db.add_individual env.Opstream.db observer_ind;
+  let observer = Subject.make observer_ind bottom in
+  let allow_read = Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.Read ] ] in
+  let deny_read = Acl.of_entries [ Acl.deny Acl.Everyone [ Access_mode.Read ] ] in
+  let barrier_meta = Meta.make ~owner:warden ~acl:allow_read bottom in
+  let barrier_round = Atomic.make 0 in
+  let acks = Array.init readers (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  let run_reader i =
+    (* Each reader replays its own seeded check-only stream, cycling
+       until the mutator calls time. *)
+    let rng = Prng.create ~seed:(4000 + i) in
+    let ops =
+      Array.of_list (Opstream.generate rng env ~steps:512 ~mutation_fraction:0.0)
+    in
+    let checks = ref 0 in
+    let stale_grants = ref 0 in
+    let pos = ref 0 in
+    let my_ack = ref 0 in
+    while not (Atomic.get stop) do
+      (match ops.(!pos) with
+      | Opstream.Check { subject; object_; mode } ->
+        incr checks;
+        ignore
+          (Reference_monitor.check monitor
+             ~subject:env.Opstream.subjects.(subject)
+             ~meta:env.Opstream.metas.(object_)
+             ~object_name:(Printf.sprintf "obj-%d" object_)
+             ~mode)
+      | _ -> ());
+      pos := (!pos + 1) mod Array.length ops;
+      let round = Atomic.get barrier_round in
+      if round > !my_ack then begin
+        (* The mutator revoked before publishing [round] and re-grants
+           only after every reader acknowledges, so this check runs
+           strictly inside the deny window: any grant is stale. *)
+        incr checks;
+        let decision =
+          Reference_monitor.check monitor ~subject:observer ~meta:barrier_meta
+            ~object_name:"barrier" ~mode:Access_mode.Read
+        in
+        if Decision.is_granted decision then incr stale_grants;
+        my_ack := round;
+        Atomic.set acks.(i) round
+      end
+    done;
+    !checks, !stale_grants
+  in
+  let run_mutator () =
+    let rng = Prng.create ~seed:5077 in
+    let ops =
+      Array.of_list (Opstream.generate rng env ~steps:1024 ~mutation_fraction:1.0)
+    in
+    let pos = ref 0 in
+    for round = 1 to rounds do
+      for _ = 1 to mutations_per_round do
+        (match ops.(!pos) with
+        | Opstream.Set_acl { object_; acl } ->
+          Meta.set_acl_raw env.Opstream.metas.(object_) acl
+        | Opstream.Set_class { object_; klass } ->
+          Meta.set_klass_raw env.Opstream.metas.(object_) klass
+        | Opstream.Set_integrity { object_; integrity } ->
+          Meta.set_integrity_raw env.Opstream.metas.(object_) integrity
+        | Opstream.Set_policy policy ->
+          (* Keep discretionary control on so the barrier's explicit
+             deny stays definitive in every window. *)
+          if policy.Policy.dac then Reference_monitor.set_policy monitor policy
+        | Opstream.Join_group { group; ind } ->
+          Principal.Db.add_member env.Opstream.db group (Principal.Ind ind)
+        | Opstream.Leave_group { group; ind } ->
+          Principal.Db.remove_member env.Opstream.db group (Principal.Ind ind)
+        | Opstream.Check _ -> ());
+        pos := (!pos + 1) mod Array.length ops
+      done;
+      (* Revoke first, publish the round after: a reader that observes
+         the new round therefore observes the revocation too. *)
+      Meta.set_acl_raw barrier_meta deny_read;
+      Atomic.set barrier_round round;
+      while Array.exists (fun ack -> Atomic.get ack < round) acks do
+        Domain.cpu_relax ()
+      done;
+      Meta.set_acl_raw barrier_meta allow_read
+    done;
+    Atomic.set stop true
+  in
+  let reader_handles = List.init readers (fun i -> Domain.spawn (fun () -> run_reader i)) in
+  let mutator_handle = Domain.spawn run_mutator in
+  let results = List.map Domain.join reader_handles in
+  Domain.join mutator_handle;
+  let total_checks = List.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let total_stale = List.fold_left (fun acc (_, s) -> acc + s) 0 results in
+  Alcotest.(check int) "no stale grant crossed a revocation barrier" 0 total_stale;
+  check "every reader saw every barrier" true
+    (Array.for_all (fun ack -> Atomic.get ack = rounds) acks);
+  (match Reference_monitor.cache_stats monitor with
+  | None -> Alcotest.fail "cache enabled but no stats"
+  | Some stats ->
+    Alcotest.(check int)
+      "cache hits + misses = decisions" total_checks
+      (stats.Decision_cache.hits + stats.Decision_cache.misses);
+    check "size within capacity" true
+      (stats.Decision_cache.size <= stats.Decision_cache.capacity);
+    Alcotest.(check int) "shard count as configured" readers stats.Decision_cache.shards);
+  let audit = Reference_monitor.audit monitor in
+  Alcotest.(check int)
+    "audit granted + denied = checks" total_checks
+    (Audit.granted_total audit + Audit.denied_total audit)
+
+(* {1 Atomic identity allocation} *)
+
+let test_fresh_ids_unique_across_domains () =
+  (* [Meta.make] draws identities from a process-wide atomic counter;
+     flow analysis depends on identities never being reused, so
+     parallel creation must never hand out a duplicate. *)
+  let domains = 4 in
+  let per_domain = 2000 in
+  let owner = Principal.individual "owner" in
+  let bottom =
+    Security_class.bottom (Level.hierarchy [ "hi"; "lo" ]) (Category.universe [])
+  in
+  let handles =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            List.init per_domain (fun _ -> (Meta.make ~owner bottom).Meta.id)))
+  in
+  let ids = List.concat_map Domain.join handles in
+  let module Ints = Set.Make (Int) in
+  Alcotest.(check int)
+    "all identities distinct"
+    (domains * per_domain)
+    (Ints.cardinal (Ints.of_list ids))
+
+(* {1 Audit ring under parallel recording} *)
+
+let test_audit_totals_parallel () =
+  let domains = 4 in
+  let per_domain = 5000 in
+  let audit = Audit.create ~capacity:64 () in
+  let owner = Principal.individual "owner" in
+  let bottom =
+    Security_class.bottom (Level.hierarchy [ "hi"; "lo" ]) (Category.universe [])
+  in
+  let subject = Subject.make owner bottom in
+  let meta = Meta.make ~owner bottom in
+  let handles =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Audit.record audit ~subject ~object_name:"o" ~object_id:meta.Meta.id
+                ~object_class:bottom ~mode:Access_mode.Read
+                (if i land 1 = 0 then Decision.Granted
+                 else Decision.Denied Decision.Dac_no_entry)
+            done))
+  in
+  List.iter Domain.join handles;
+  Alcotest.(check int) "total conserved" (domains * per_domain) (Audit.total audit);
+  Alcotest.(check int)
+    "granted + denied = total"
+    (Audit.total audit)
+    (Audit.granted_total audit + Audit.denied_total audit);
+  Alcotest.(check int) "granted half" (domains * per_domain / 2) (Audit.granted_total audit);
+  Alcotest.(check int) "ring keeps capacity" 64 (List.length (Audit.events audit))
+
+let suite =
+  [
+    Alcotest.test_case "stress: readers vs mutator" `Quick test_stress_readers_vs_mutator;
+    Alcotest.test_case "fresh ids unique across domains" `Quick
+      test_fresh_ids_unique_across_domains;
+    Alcotest.test_case "audit totals conserved across domains" `Quick
+      test_audit_totals_parallel;
+  ]

@@ -40,6 +40,44 @@ let test_cycle_rejected () =
   | () -> Alcotest.fail "self-cycle accepted"
   | exception Invalid_argument _ -> ()
 
+let test_rejected_cycle_leaves_db_untouched () =
+  (* add_member must validate before mutating: a rejected insertion
+     may not register the nested group, touch any member list, or
+     bump the generation (a half-applied update would silently
+     invalidate every cached discretionary decision). *)
+  let db = Principal.Db.create () in
+  let a = Principal.group "a" in
+  let b = Principal.group "b" in
+  Principal.Db.add_member db a (Principal.Grp b);
+  let groups_before = List.map Principal.group_name (Principal.Db.groups db) in
+  let members_before = Principal.Db.direct_members db b in
+  let generation_before = Principal.Db.generation db in
+  (match Principal.Db.add_member db b (Principal.Grp a) with
+  | () -> Alcotest.fail "cycle accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list string))
+    "no group registered by the rejected insert" groups_before
+    (List.map Principal.group_name (Principal.Db.groups db));
+  Alcotest.(check int)
+    "b's members untouched"
+    (List.length members_before)
+    (List.length (Principal.Db.direct_members db b));
+  Alcotest.(check int) "generation untouched" generation_before
+    (Principal.Db.generation db);
+  (* A rejected self-cycle on a group the db has never seen must not
+     register that group on the way out. *)
+  let fresh = Principal.group "fresh" in
+  let groups_before = List.map Principal.group_name (Principal.Db.groups db) in
+  let generation_before = Principal.Db.generation db in
+  (match Principal.Db.add_member db fresh (Principal.Grp fresh) with
+  | () -> Alcotest.fail "self-cycle accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list string))
+    "unknown group not registered by the rejection" groups_before
+    (List.map Principal.group_name (Principal.Db.groups db));
+  Alcotest.(check int) "generation still untouched" generation_before
+    (Principal.Db.generation db)
+
 let test_add_member_idempotent () =
   let db = Principal.Db.create () in
   let alice = Principal.individual "alice" in
@@ -90,6 +128,8 @@ let suite =
     Alcotest.test_case "direct membership" `Quick test_direct_membership;
     Alcotest.test_case "nested membership" `Quick test_nested_membership;
     Alcotest.test_case "cycles rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "rejected cycle leaves db untouched" `Quick
+      test_rejected_cycle_leaves_db_untouched;
     Alcotest.test_case "add idempotent" `Quick test_add_member_idempotent;
     Alcotest.test_case "remove member" `Quick test_remove_member;
     Alcotest.test_case "listing sorted" `Quick test_listing_sorted;
