@@ -25,6 +25,7 @@ let experiments =
     "a4", "ablation: policy-file parse/build throughput", Ablations.a4;
     "a5", "ablation: quota charging overhead", Ablations.a5;
     "a6", "ablation: decision cache on/off, repeated checks", Ablations.a6;
+    "a7", "ablation: static analysis; certified vs per-call dispatch", Ablations.a7;
     "s1", "decide throughput vs domains: uncached / single-lock / sharded", Scaling.s1;
     "s1q", "s1 smoke: 1-2 domains, short streams", Scaling.s1q;
   ]

@@ -367,6 +367,77 @@ let policy_cmd =
     (Cmd.info "policy" ~doc:"Load a textual policy file; optionally query a decision under it")
     Term.(const run $ file $ canonical $ as_name $ at_level $ at_cats $ mode $ on_path)
 
+(* {1 analyze: the static policy analyzer} *)
+
+let analyze_cmd =
+  let module Finding = Exsec_analysis.Finding in
+  let run file json severity_name dac_only mac_only liberal =
+    let severity =
+      match Finding.severity_of_string severity_name with
+      | Some severity -> severity
+      | None ->
+        Format.printf "unknown severity %s (info|warning|error)@." severity_name;
+        exit 1
+    in
+    let text =
+      try
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with
+      | Sys_error message ->
+        Format.printf "%s@." message;
+        exit 1
+    in
+    let policy =
+      let base =
+        if dac_only then Policy.dac_only
+        else if mac_only then Policy.mac_only
+        else Policy.default
+      in
+      if liberal then { base with Policy.overwrite = Mac.Liberal } else base
+    in
+    let report = Exsec_analysis.Analyzer.analyze_text ~policy text in
+    let kept = Finding.sort (Finding.at_least severity report.Exsec_analysis.Analyzer.findings) in
+    if json then print_endline (Finding.to_json kept)
+    else begin
+      List.iter (fun f -> Format.printf "%a@." Finding.pp f) kept;
+      Format.printf "%s: %d error(s), %d warning(s), %d info@." file
+        (Finding.count Finding.Error kept)
+        (Finding.count Finding.Warning kept)
+        (Finding.count Finding.Info kept)
+    end;
+    if Finding.count Finding.Error kept > 0 then 1 else 0
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Policy file.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let severity =
+    Arg.(
+      value & opt string "info"
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:"Report findings at or above this severity: info, warning or error.")
+  in
+  let dac_only =
+    Arg.(value & flag & info [ "dac-only" ] ~doc:"Analyze under a DAC-only policy.")
+  in
+  let mac_only =
+    Arg.(value & flag & info [ "mac-only" ] ~doc:"Analyze under a MAC-only policy.")
+  in
+  let liberal =
+    Arg.(value & flag & info [ "liberal" ] ~doc:"Analyze under the liberal overwrite rule.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze a policy file: parse and name defects, ACL lint (shadowed, \
+          contradictory, redundant, dead entries), and information-flow channels. Exits \
+          non-zero when any error-severity finding is reported.")
+    Term.(const run $ file $ json $ severity $ dac_only $ mac_only $ liberal)
+
 (* {1 attacks: three-prong fault injection} *)
 
 let attacks_cmd =
@@ -405,6 +476,6 @@ let main_cmd =
   let doc = "security for extensible systems: the HotOS'97 model, runnable" in
   Cmd.group
     (Cmd.info "exsecd" ~version:"1.0.0" ~doc)
-    [ scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd ]
+    [ scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,207 @@
+open Exsec_core
+
+type report = {
+  findings : Finding.t list;
+  spec : Policy_text.t;
+  built : Policy_text.built option;
+}
+
+module S = Set.Make (String)
+
+(* {1 Spec-level name lint}
+
+   Mirrors the validation [Policy_text.build] performs, but reports
+   every defect instead of refusing at the first — and marks what to
+   drop so a sanitized spec still builds. *)
+
+type names = {
+  individuals : S.t;
+  groups : S.t;
+  levels : S.t;
+  categories : S.t;
+}
+
+let names_of (spec : Policy_text.t) =
+  {
+    individuals = S.of_list spec.Policy_text.individuals;
+    groups = S.of_list (List.map fst spec.Policy_text.groups);
+    levels = S.of_list spec.Policy_text.levels;
+    categories = S.of_list spec.Policy_text.categories;
+  }
+
+let class_ok names (expr : Policy_text.class_expr) =
+  S.mem expr.Policy_text.level names.levels
+  && List.for_all (fun cat -> S.mem cat names.categories) expr.Policy_text.cats
+
+let lint_class names ~what ?path note (expr : Policy_text.class_expr) =
+  if not (S.mem expr.Policy_text.level names.levels) then
+    note
+      (Finding.make Finding.Error Finding.Unknown_name ?path
+         (Printf.sprintf "%s: unknown level %S" what expr.Policy_text.level));
+  List.iter
+    (fun cat ->
+      if not (S.mem cat names.categories) then
+        note
+          (Finding.make Finding.Error Finding.Unknown_name ?path
+             (Printf.sprintf "%s: unknown category %S" what cat)))
+    expr.Policy_text.cats
+
+let entry_who_ok names (who : Policy_text.who_expr) =
+  match who with
+  | Policy_text.User name -> S.mem name names.individuals
+  | Policy_text.Group name -> S.mem name names.groups
+  | Policy_text.Everyone -> true
+
+let member_ok names member =
+  match String.index_opt member ':' with
+  | Some i when String.equal (String.sub member 0 i) "group" ->
+    S.mem (String.sub member (i + 1) (String.length member - i - 1)) names.groups
+  | Some _ | None -> S.mem member names.individuals
+
+let lint_spec (spec : Policy_text.t) note =
+  let names = names_of spec in
+  let unknown_principal ?path what name =
+    note
+      (Finding.make Finding.Error Finding.Unknown_principal ?path
+         (Printf.sprintf "%s: undeclared principal %S" what name))
+  in
+  List.iter
+    (fun (group, members) ->
+      List.iter
+        (fun member ->
+          if not (member_ok names member) then
+            unknown_principal (Printf.sprintf "group %s" group) member)
+        members)
+    spec.Policy_text.groups;
+  List.iter
+    (fun (c : Policy_text.clearance_spec) ->
+      let what = Printf.sprintf "clearance %s" c.Policy_text.principal in
+      if not (S.mem c.Policy_text.principal names.individuals) then
+        unknown_principal "clearance" c.Policy_text.principal;
+      lint_class names ~what note c.Policy_text.clearance;
+      Option.iter (lint_class names ~what note) c.Policy_text.cl_integrity)
+    spec.Policy_text.clearances;
+  List.iter
+    (fun (q : Policy_text.quota_spec) ->
+      if not (S.mem q.Policy_text.q_principal names.individuals) then
+        unknown_principal "quota" q.Policy_text.q_principal)
+    spec.Policy_text.quotas;
+  List.iter
+    (fun (o : Policy_text.object_spec) ->
+      let path = o.Policy_text.path in
+      if not (S.mem o.Policy_text.owner names.individuals) then
+        unknown_principal ~path "owner" o.Policy_text.owner;
+      lint_class names ~what:"class" ~path note o.Policy_text.klass;
+      Option.iter (lint_class names ~what:"integrity" ~path note) o.Policy_text.obj_integrity;
+      List.iter
+        (fun (e : Policy_text.entry_expr) ->
+          (match e.Policy_text.who with
+          | Policy_text.User name when not (S.mem name names.individuals) ->
+            unknown_principal ~path "entry" name
+          | Policy_text.Group name when not (S.mem name names.groups) ->
+            unknown_principal ~path "entry" name
+          | Policy_text.User _ | Policy_text.Group _ | Policy_text.Everyone -> ());
+          List.iter
+            (fun mode ->
+              if Access_mode.of_string mode = None then
+                note
+                  (Finding.make Finding.Error Finding.Unknown_name ~path
+                     (Printf.sprintf "entry: unknown access mode %S" mode)))
+            e.Policy_text.modes)
+        o.Policy_text.entries)
+    spec.Policy_text.objects
+
+(* {1 Sanitizing}
+
+   Drop everything the name lint flagged, keeping all well-formed
+   declarations, so the semantic passes can run on a broken file. *)
+
+let sanitize (spec : Policy_text.t) : Policy_text.t =
+  let names = names_of spec in
+  let entry_ok (e : Policy_text.entry_expr) =
+    entry_who_ok names e.Policy_text.who
+    && List.for_all (fun mode -> Access_mode.of_string mode <> None) e.Policy_text.modes
+  in
+  {
+    spec with
+    Policy_text.groups =
+      List.map
+        (fun (group, members) -> group, List.filter (member_ok names) members)
+        spec.Policy_text.groups;
+    clearances =
+      List.filter
+        (fun (c : Policy_text.clearance_spec) ->
+          S.mem c.Policy_text.principal names.individuals
+          && class_ok names c.Policy_text.clearance
+          && Option.fold ~none:true ~some:(class_ok names) c.Policy_text.cl_integrity)
+        spec.Policy_text.clearances;
+    quotas =
+      List.filter
+        (fun (q : Policy_text.quota_spec) -> S.mem q.Policy_text.q_principal names.individuals)
+        spec.Policy_text.quotas;
+    objects =
+      List.filter_map
+        (fun (o : Policy_text.object_spec) ->
+          if S.mem o.Policy_text.owner names.individuals && class_ok names o.Policy_text.klass
+          then
+            Some
+              {
+                o with
+                Policy_text.obj_integrity =
+                  (match o.Policy_text.obj_integrity with
+                  | Some expr when class_ok names expr -> Some expr
+                  | Some _ | None -> None);
+                entries = List.filter entry_ok o.Policy_text.entries;
+              }
+          else None)
+        spec.Policy_text.objects;
+  }
+
+(* {1 The pipeline} *)
+
+let analyze_objects ?(policy = Policy.default) ~db ?registry ~objects () =
+  let acl_findings =
+    List.concat_map
+      (fun (path, meta) -> Acl_lint.lint_object ~db ?registry ~policy ~path meta)
+      objects
+  in
+  let flow_findings =
+    match registry with
+    | None -> []
+    | Some registry -> Flow_static.analyze ~db ~registry ~policy ~objects
+  in
+  acl_findings @ flow_findings
+
+let analyze_text ?(policy = Policy.default) text =
+  let spec, parse_errors = Policy_text.parse_lenient text in
+  let findings = ref [] in
+  let note finding = findings := finding :: !findings in
+  List.iter
+    (fun (error : Policy_text.error) ->
+      note
+        (Finding.make Finding.Error Finding.Parse_error
+           (Format.asprintf "%a" Policy_text.pp_error error)))
+    parse_errors;
+  lint_spec spec note;
+  let built =
+    if spec.Policy_text.levels = [] then None
+    else (
+      match Policy_text.build (sanitize spec) with
+      | Ok built -> Some built
+      | Error error ->
+        note
+          (Finding.make Finding.Error Finding.Parse_error
+             (Format.asprintf "after sanitizing: %a" Policy_text.pp_error error));
+        None
+      | exception Invalid_argument message ->
+        (* e.g. a group-membership cycle, rejected by the database *)
+        note (Finding.make Finding.Error Finding.Parse_error message);
+        None)
+  in
+  (match built with
+  | None -> ()
+  | Some built ->
+    List.iter note
+      (analyze_objects ~policy ~db:built.Policy_text.db
+         ~registry:built.Policy_text.registry ~objects:built.Policy_text.metas ()));
+  { findings = List.rev !findings; spec; built }

@@ -1,0 +1,40 @@
+(** The static policy analyzer: every pass over one policy text.
+
+    Pipeline: {!Exsec_core.Policy_text.parse_lenient} (every parse
+    error becomes a finding), a spec-level name lint (undeclared
+    principals, unknown levels/categories/modes — the defects
+    [Policy_text.build] would refuse), then a {e sanitized} copy of
+    the spec — bad clearances, group members, quota lines, entries and
+    objects dropped — is built so the semantic passes ({!Acl_lint},
+    {!Flow_static}) still run over everything well-formed.  A policy
+    too broken to build (e.g. no [levels] line) reports its findings
+    with [built = None]. *)
+
+open Exsec_core
+
+type report = {
+  findings : Finding.t list;
+      (** document order within each pass; {!Finding.sort} for
+          severity order *)
+  spec : Policy_text.t;  (** the lenient parse, unsanitized *)
+  built : Policy_text.built option;
+      (** the sanitized spec's live artifacts, when it builds *)
+}
+
+val analyze_text : ?policy:Policy.t -> string -> report
+(** Analyze a policy text.  [policy] (default {!Policy.default})
+    selects which layers the semantic passes reason under — analyzing
+    under the policy the deployment will actually run matters: with
+    MAC ablated there are no dead grants, with DAC ablated no shadowed
+    entries are worth reporting, etc. *)
+
+val analyze_objects :
+  ?policy:Policy.t ->
+  db:Principal.Db.t ->
+  ?registry:Clearance.t ->
+  objects:(string * Meta.t) list ->
+  unit ->
+  Finding.t list
+(** The semantic passes alone, over live state (e.g. a running
+    kernel's name space rendered as [label, metadata] pairs); the flow
+    pass needs [registry]. *)

@@ -1,0 +1,135 @@
+open Exsec_core
+
+type import_proof = {
+  import : Path.t;
+  verdict : Verdict.t;
+  target_id : int;
+  chain : (Meta.t * int) list;
+}
+
+type cover = {
+  principal : Principal.individual;
+  e_max : Security_class.t;
+  integrity : Security_class.t option;
+}
+
+type t = {
+  extension : string;
+  epoch : int;
+  db_generation : int;
+  covers : cover list;
+  proofs : import_proof list;
+}
+
+(* The node sequence a checked resolution of [path] consults: root,
+   every interior node, then the target (Resolver.walk checks List on
+   all but the last; the caller's mode applies to the last). *)
+let chain_nodes namespace path =
+  let rec step node acc = function
+    | [] -> Some (List.rev (node :: acc))
+    | segment :: rest -> (
+      match
+        List.find_opt
+          (fun (name, _) -> String.equal name segment)
+          (Namespace.children node)
+      with
+      | None -> None
+      | Some (_, child) -> step child (node :: acc) rest)
+  in
+  step (Namespace.root namespace) [] (Path.segments path)
+
+let issue ~monitor ~registry ~namespace ?static_class ~extension ~imports () =
+  let db = Reference_monitor.db monitor in
+  let policy = Reference_monitor.policy monitor in
+  (* Pre-read every generation the proof depends on (the same
+     data-then-generation discipline as Decision_cache): a concurrent
+     mutation then lands a higher generation than the one recorded
+     here, and [admits] rejects. *)
+  let epoch = Reference_monitor.policy_epoch monitor in
+  let db_generation = Principal.Db.generation db in
+  let covers =
+    List.filter_map
+      (fun principal ->
+        Option.map
+          (fun (detail : Clearance.detail) ->
+            {
+              principal;
+              e_max = Certify.e_max ?static_class detail.Clearance.clearance;
+              integrity = detail.Clearance.integrity;
+            })
+          (Clearance.detail_of registry principal))
+      (Clearance.registered registry)
+  in
+  let prove_import import =
+    match chain_nodes namespace import with
+    | None -> { import; verdict = Verdict.Depends; target_id = -1; chain = [] }
+    | Some nodes ->
+      let chain =
+        List.map
+          (fun node ->
+            let meta = Namespace.meta node in
+            meta, Meta.generation meta)
+          nodes
+      in
+      let metas = List.map fst chain in
+      let verdict =
+        Verdict.all
+          (List.map
+             (fun cover ->
+               Certify.prove_path ~db ~registry ~policy ?static_class
+                 ~principal:cover.principal ~chain:metas ~mode:Access_mode.Execute ())
+             covers)
+      in
+      let target_id =
+        match List.rev metas with
+        | target :: _ -> target.Meta.id
+        | [] -> -1
+      in
+      { import; verdict; target_id; chain }
+  in
+  { extension; epoch; db_generation; covers; proofs = List.map prove_import imports }
+
+let fully_certified certificate =
+  certificate.proofs <> []
+  && List.for_all
+       (fun proof -> Verdict.equal proof.verdict Verdict.Always_allow)
+       certificate.proofs
+
+let verdict_for certificate path =
+  Option.map
+    (fun proof -> proof.verdict)
+    (List.find_opt (fun proof -> Path.equal proof.import path) certificate.proofs)
+
+let covered certificate subject =
+  let name = Subject.principal subject in
+  List.exists
+    (fun cover ->
+      Principal.equal_individual cover.principal name
+      && Security_class.dominates cover.e_max (Subject.effective_class subject)
+      && Option.equal Security_class.equal cover.integrity (Subject.integrity subject))
+    certificate.covers
+
+let admits certificate ~monitor ~namespace ~subject path =
+  Reference_monitor.policy_epoch monitor = certificate.epoch
+  && Principal.Db.generation (Reference_monitor.db monitor) = certificate.db_generation
+  &&
+  match List.find_opt (fun proof -> Path.equal proof.import path) certificate.proofs with
+  | None -> false
+  | Some proof ->
+    Verdict.equal proof.verdict Verdict.Always_allow
+    && List.for_all
+         (fun (meta, generation) -> Meta.generation meta = generation)
+         proof.chain
+    && (match Namespace.find namespace path with
+       | Ok node -> (Namespace.meta node).Meta.id = proof.target_id
+       | Error _ -> false)
+    && covered certificate subject
+
+let pp ppf certificate =
+  Format.fprintf ppf "@[<v>certificate for %s (epoch %d, db generation %d)"
+    certificate.extension certificate.epoch certificate.db_generation;
+  List.iter
+    (fun proof ->
+      Format.fprintf ppf "@,  %a: %a" Path.pp proof.import Verdict.pp proof.verdict)
+    certificate.proofs;
+  Format.fprintf ppf "@]"

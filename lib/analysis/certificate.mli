@@ -1,0 +1,91 @@
+(** Link-time certificates: a proof, checkable in O(imports), that an
+    extension's imports need no per-call reference-monitor work.
+
+    At link time {!issue} proves every import of an extension over the
+    whole registered-principal session space ({!Certify.prove_path})
+    and records the exact state the proof consulted: the monitor's
+    policy epoch, the principal database's membership generation, and
+    the [(metadata, generation)] pair of every node on every import's
+    path.  A later call may skip the monitor iff {!admits} — the proof
+    said [Always_allow], {e and} none of the consulted state has moved
+    since, {e and} the calling subject lies inside the proved domain.
+
+    Invalidation is by validation, not notification (the same scheme
+    as {!Exsec_core.Decision_cache}): nothing tracks certificates;
+    they silently stop admitting as soon as any generation they were
+    stamped with changes.  [set_policy] bumps the epoch; membership
+    churn bumps the database generation; [set_acl]/[set_class]/
+    [set_integrity] on any node of the chain bumps that node's
+    metadata generation; and removing-and-recreating the target gives
+    it a fresh metadata identity, which the [target_id] comparison
+    catches (an ancestor directory cannot be swapped without emptying
+    it first, which destroys the target's identity too).  A stale
+    certificate therefore fails closed: the call falls back to the
+    fully checked path. *)
+
+open Exsec_core
+
+type import_proof = {
+  import : Path.t;
+  verdict : Verdict.t;
+  target_id : int;  (** {!Meta.t} identity of the resolved target *)
+  chain : (Meta.t * int) list;
+      (** every node consulted on the path, root first, with the
+          metadata generation read {e before} the proof *)
+}
+
+type cover = {
+  principal : Principal.individual;
+  e_max : Security_class.t;
+      (** top of the proved effective-class range: the registered
+          clearance met with the extension's static class *)
+  integrity : Security_class.t option;
+      (** the registered integrity label the proof evaluated *)
+}
+
+type t = {
+  extension : string;
+  epoch : int;  (** {!Reference_monitor.policy_epoch} at issue time *)
+  db_generation : int;  (** {!Principal.Db.generation} at issue time *)
+  covers : cover list;
+  proofs : import_proof list;
+}
+
+val issue :
+  monitor:Reference_monitor.t ->
+  registry:Clearance.t ->
+  namespace:'a Namespace.t ->
+  ?static_class:Security_class.t ->
+  extension:string ->
+  imports:Path.t list ->
+  unit ->
+  t
+(** Prove every import for every registered principal.  Imports whose
+    paths do not resolve get a [Depends] proof (they never admit).
+    The epoch and generations are read {e before} proving, so a
+    concurrent mutation always leaves the certificate unable to
+    validate rather than wrongly valid. *)
+
+val fully_certified : t -> bool
+(** Every import proved [Always_allow] — the condition under which the
+    linker stamps the extension as certified. *)
+
+val verdict_for : t -> Path.t -> Verdict.t option
+
+val admits :
+  t ->
+  monitor:Reference_monitor.t ->
+  namespace:'a Namespace.t ->
+  subject:Subject.t ->
+  Path.t ->
+  bool
+(** [true] iff the certified fast path may serve this call: the import
+    was proved [Always_allow], every piece of consulted state is at
+    its issue-time generation, the path still resolves to the proved
+    object identity, and [subject] is covered — its principal was
+    registered at proof time, its effective class lies under the
+    proved range's top, and its integrity label is the registered one.
+    (The trusted bit is irrelevant: certificates cover only read-like
+    modes, which the trusted exemption does not touch.) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+open Exsec_core
+
+let is_bottom klass =
+  Level.rank (Security_class.level klass) = 0
+  && Category.cardinal (Security_class.categories klass) = 0
+
+let e_max ?static_class clearance =
+  match static_class with
+  | None -> clearance
+  | Some ceiling -> Security_class.meet clearance ceiling
+
+(* Each layer answers over the whole achievable effective-class range
+   [bottom, e_max] (see the mli for the monotonicity argument); the
+   layers conjoin exactly as Reference_monitor.evaluate conjoins
+   them. *)
+
+let dac_verdict ~db ~policy ~principal ~(meta : Meta.t) ~mode =
+  if not policy.Policy.dac then Verdict.Always_allow
+  else
+    match Acl.check ~db ~subject:principal ~mode meta.Meta.acl with
+    | Acl.Granted _ -> Verdict.Always_allow
+    | Acl.Denied_by _ | Acl.No_entry -> Verdict.Always_deny
+
+let mac_verdict ~policy ~trusted ~top ~(meta : Meta.t) ~mode =
+  if not policy.Policy.mac then Verdict.Always_allow
+  else if trusted && Access_mode.is_write_like mode then Verdict.Always_allow
+  else if Access_mode.is_read_like mode then
+    (* granted(e) iff e dominates the object: monotone increasing. *)
+    if is_bottom meta.Meta.klass then Verdict.Always_allow
+    else if not (Security_class.dominates top meta.Meta.klass) then Verdict.Always_deny
+    else Verdict.Depends
+  else (
+    match policy.Policy.overwrite, mode with
+    | Mac.Strict, (Access_mode.Write | Access_mode.Delete) ->
+      (* granted(e) iff e equals the object's class, which the range
+         contains iff the top dominates it; the range is the singleton
+         {bottom} iff the top is bottom. *)
+      if not (Security_class.dominates top meta.Meta.klass) then Verdict.Always_deny
+      else if is_bottom top then Verdict.Always_allow
+      else Verdict.Depends
+    | (Mac.Strict | Mac.Liberal), _ ->
+      (* granted(e) iff the object dominates e: monotone decreasing,
+         always granted at bottom, so never Always_deny on its own. *)
+      if Security_class.dominates meta.Meta.klass top then Verdict.Always_allow
+      else Verdict.Depends)
+
+let integrity_verdict ~policy ~trusted ~subject_integrity ~(meta : Meta.t) ~mode =
+  if not policy.Policy.integrity then Verdict.Always_allow
+  else
+    match subject_integrity, meta.Meta.integrity with
+    | None, _ | _, None -> Verdict.Always_allow
+    | Some subject_integrity, Some object_integrity ->
+      if trusted && Access_mode.is_write_like mode then Verdict.Always_allow
+      else (
+        match Integrity.check ~subject:subject_integrity ~object_:object_integrity mode with
+        | Ok () -> Verdict.Always_allow
+        | Error _ -> Verdict.Always_deny)
+
+let prove ~db ~registry ~policy ?static_class ~principal ~meta ~mode () =
+  match Clearance.detail_of registry principal with
+  | None -> Verdict.Depends
+  | Some { Clearance.clearance; integrity; trusted } ->
+    let top = e_max ?static_class clearance in
+    Verdict.all
+      [
+        dac_verdict ~db ~policy ~principal ~meta ~mode;
+        mac_verdict ~policy ~trusted ~top ~meta ~mode;
+        integrity_verdict ~policy ~trusted ~subject_integrity:integrity ~meta ~mode;
+      ]
+
+let prove_path ~db ~registry ~policy ?static_class ~principal ~chain ~mode () =
+  let prove_one meta mode =
+    prove ~db ~registry ~policy ?static_class ~principal ~meta ~mode ()
+  in
+  let rec walk = function
+    | [] -> []
+    | [ target ] -> [ prove_one target mode ]
+    | interior :: rest -> prove_one interior Access_mode.List :: walk rest
+  in
+  Verdict.all (walk chain)

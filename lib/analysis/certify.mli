@@ -1,0 +1,74 @@
+(** The link-time prover: lift the reference monitor's per-session
+    decision to a {!Verdict.t} over a principal's whole session space.
+
+    Soundness rests on the lattice monotonicity of each policy layer:
+
+    - the discretionary check depends only on the principal's identity
+      and group memberships, never on the session class, so its answer
+      is already a constant over the session space;
+    - the mandatory read rule ([effective dominates object]) is
+      monotone {e increasing} in the effective class, so it holds for
+      every achievable session iff it holds at the lattice bottom —
+      i.e. iff the object's class is itself bottom — and fails for
+      every session iff it fails at the top of the achievable range;
+    - the mandatory write rule ([object dominates effective]) is
+      monotone {e decreasing}, so it always holds at bottom (never
+      [Always_deny] on its own) and holds everywhere iff it holds at
+      the top of the range; the strict-overwrite refinement (equal
+      classes for [Write]/[Delete]) pins the granting session to
+      exactly the object's class;
+    - the integrity layer compares the {e registered} integrity labels
+      of subject and object, which do not vary with the session class.
+
+    The achievable range of effective classes is the full lattice
+    interval from bottom to [meet clearance static_class]: any class
+    in it is reachable by logging in at that class (it is below the
+    clearance) and entering the pinned code, and no session can exceed
+    the meet.  Evaluating each layer at the two endpoints therefore
+    decides the whole space. *)
+
+open Exsec_core
+
+val e_max :
+  ?static_class:Security_class.t -> Security_class.t -> Security_class.t
+(** [e_max ?static_class clearance] is the top of the achievable
+    effective-class range: [meet clearance static_class], or the
+    clearance when the extension carries no static class. *)
+
+val prove :
+  db:Principal.Db.t ->
+  registry:Clearance.t ->
+  policy:Policy.t ->
+  ?static_class:Security_class.t ->
+  principal:Principal.individual ->
+  meta:Meta.t ->
+  mode:Access_mode.t ->
+  unit ->
+  Verdict.t
+(** The verdict for [principal] requesting [mode] on the object
+    described by [meta], quantified over every session the clearance
+    registry would mint for it ({!Verdict}).  [static_class] caps the
+    range as an extension ceiling would.  Unregistered principals are
+    outside the proved domain and get [Depends].
+
+    The proof mirrors {!Reference_monitor.decide} layer by layer —
+    including the trusted-subject exemptions and the per-layer policy
+    switches — against the {e current} metadata fields; the caller is
+    responsible for snapshotting [Meta.generation] {e before} calling
+    if the result will be cached (see {!Certificate}). *)
+
+val prove_path :
+  db:Principal.Db.t ->
+  registry:Clearance.t ->
+  policy:Policy.t ->
+  ?static_class:Security_class.t ->
+  principal:Principal.individual ->
+  chain:Meta.t list ->
+  mode:Access_mode.t ->
+  unit ->
+  Verdict.t
+(** The verdict for a checked path traversal ending in [mode]: [List]
+    on every element of [chain] but the last (the resolver checks
+    search permission on each node strictly above the target, root
+    included) and [mode] on the last, conjoined with {!Verdict.all}.
+    [Always_allow] on the empty chain. *)

@@ -1,0 +1,111 @@
+type severity =
+  | Info
+  | Warning
+  | Error
+
+type kind =
+  | Parse_error
+  | Unknown_principal
+  | Unknown_name
+  | Contradictory_entries
+  | Shadowed_entry
+  | Redundant_entry
+  | Dead_grant
+  | Flow_channel
+  | Unreachable_object
+
+type t = {
+  severity : severity;
+  kind : kind;
+  path : string option;
+  message : string;
+}
+
+let make severity kind ?path message = { severity; kind; path; message }
+
+let severity_rank = function
+  | Info -> 0
+  | Warning -> 1
+  | Error -> 2
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let kind_to_string = function
+  | Parse_error -> "parse-error"
+  | Unknown_principal -> "unknown-principal"
+  | Unknown_name -> "unknown-name"
+  | Contradictory_entries -> "contradictory-entries"
+  | Shadowed_entry -> "shadowed-entry"
+  | Redundant_entry -> "redundant-entry"
+  | Dead_grant -> "dead-grant"
+  | Flow_channel -> "flow-channel"
+  | Unreachable_object -> "unreachable-object"
+
+let at_least threshold findings =
+  List.filter (fun f -> severity_rank f.severity >= severity_rank threshold) findings
+
+let count severity findings = List.length (List.filter (fun f -> f.severity = severity) findings)
+
+let sort findings =
+  List.stable_sort (fun a b -> compare (severity_rank b.severity) (severity_rank a.severity)) findings
+
+let pp ppf f =
+  Format.fprintf ppf "%-7s %-22s %s%s"
+    (severity_to_string f.severity) (kind_to_string f.kind)
+    (match f.path with
+    | Some path -> path ^ ": "
+    | None -> "")
+    f.message
+
+(* Minimal JSON string escaping: quotes, backslashes, control chars. *)
+let json_string s =
+  let buffer = Buffer.create (String.length s + 2) in
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"';
+  Buffer.contents buffer
+
+let to_json findings =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer "{\"severity\":";
+      Buffer.add_string buffer (json_string (severity_to_string f.severity));
+      Buffer.add_string buffer ",\"kind\":";
+      Buffer.add_string buffer (json_string (kind_to_string f.kind));
+      (match f.path with
+      | Some path ->
+        Buffer.add_string buffer ",\"path\":";
+        Buffer.add_string buffer (json_string path)
+      | None -> ());
+      Buffer.add_string buffer ",\"message\":";
+      Buffer.add_string buffer (json_string f.message);
+      Buffer.add_char buffer '}')
+    findings;
+  Buffer.add_string buffer "],\"counts\":{";
+  Buffer.add_string buffer
+    (Printf.sprintf "\"error\":%d,\"warning\":%d,\"info\":%d"
+       (count Error findings) (count Warning findings) (count Info findings));
+  Buffer.add_string buffer "}}";
+  Buffer.contents buffer

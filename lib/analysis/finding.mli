@@ -1,0 +1,51 @@
+(** Analyzer findings: one defect or observation about a policy.
+
+    Every pass of the static analyzer reports through this one type so
+    [exsecd analyze] can render, filter and count uniformly (text or
+    JSON).  Severities order [Info < Warning < Error]; the CLI's
+    [--severity] flag keeps findings at or above a threshold, and CI
+    fails a build that produces any [Error]. *)
+
+type severity =
+  | Info
+  | Warning
+  | Error
+
+type kind =
+  | Parse_error  (** the policy text did not parse (line in message) *)
+  | Unknown_principal  (** an entry/clearance/owner names nobody declared *)
+  | Unknown_name  (** an unknown level, category or access mode *)
+  | Contradictory_entries  (** same who holds both allow and deny for a mode *)
+  | Shadowed_entry  (** an entry no (subject, mode) outcome depends on *)
+  | Redundant_entry  (** a same-who/same-sign duplicate of earlier entries *)
+  | Dead_grant  (** a DAC grant no cleared subject can ever exercise (MAC) *)
+  | Flow_channel  (** a transitive category-to-category downward channel *)
+  | Unreachable_object  (** no cleared subject can [List] its way to it *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  path : string option;  (** the object the finding is about, if any *)
+  message : string;
+}
+
+val make : severity -> kind -> ?path:string -> string -> t
+
+val severity_rank : severity -> int
+(** [Info] is 0, [Error] is 2. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val kind_to_string : kind -> string
+
+val at_least : severity -> t list -> t list
+(** Findings at or above the given severity, order preserved. *)
+
+val count : severity -> t list -> int
+val sort : t list -> t list
+(** Most severe first; stable within a severity. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t list -> string
+(** The whole report as one JSON document:
+    [{"findings":[...],"counts":{"error":n,"warning":n,"info":n}}]. *)

@@ -48,6 +48,26 @@ let pp ppf acl =
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_entry)
     acl
 
+let normalize acl =
+  (* One left-to-right pass: fold each entry into the first earlier
+     entry with the same who and sign, then drop empty mode sets. *)
+  let merged =
+    List.fold_left
+      (fun acc e ->
+        let rec absorb = function
+          | [] -> None
+          | prior :: rest ->
+            if equal_who prior.who e.who && prior.sign = e.sign then
+              Some ({ prior with modes = Access_mode.Set.union prior.modes e.modes } :: rest)
+            else Option.map (fun rest -> prior :: rest) (absorb rest)
+        in
+        match absorb acc with
+        | Some acc -> acc
+        | None -> e :: acc)
+      [] acl
+  in
+  List.rev (List.filter (fun e -> not (Access_mode.Set.is_empty e.modes)) merged)
+
 let entry who sign modes = { who; sign; modes = Access_mode.Set.of_list modes }
 let allow who modes = entry who Allow modes
 let deny who modes = entry who Deny modes

@@ -41,6 +41,17 @@ val length : t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
+val normalize : t -> t
+(** Merge entries that share a [who] and a [sign] into one entry (the
+    mode-set union, kept at the first occurrence's position) and drop
+    entries with an empty mode set.  Normalization never changes what
+    {!check} decides — granted stays granted, denied stays denied,
+    no-entry stays no-entry — though a [Granted]/[Denied_by] verdict
+    may attribute the decision to a different same-tier entry when
+    several could have decided.  The static analyzer's "redundant
+    entry" lint is exactly the set of entries normalization removes or
+    absorbs, and a QCheck property holds the two to that contract. *)
+
 val entry : who -> sign -> Access_mode.t list -> entry
 (** Convenience constructor. *)
 

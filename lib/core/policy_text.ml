@@ -246,7 +246,7 @@ let parse_top state line_number tokens =
         }
   | token :: _ -> fail line_number (Printf.sprintf "unknown directive %S" token)
 
-let parse text =
+let parse_lenient text =
   let state =
     {
       levels = None;
@@ -259,38 +259,57 @@ let parse text =
       current = None;
     }
   in
-  try
-    List.iteri
-      (fun index line ->
-        let line_number = index + 1 in
-        let tokens = tokens_of line in
+  let errors = ref [] in
+  let note error = errors := error :: !errors in
+  (* Salvage what a malformed object block did declare, so later
+     analysis passes still see its well-formed entries. *)
+  let finish_current () =
+    try finish_object state with
+    | Parse_failure error ->
+      note error;
+      state.current <- None
+  in
+  List.iteri
+    (fun index line ->
+      let line_number = index + 1 in
+      let tokens = tokens_of line in
+      try
         match state.current, tokens with
         | _, [] -> ()
-        | Some _, [ "}" ] -> finish_object state
+        | Some _, [ "}" ] -> finish_current ()
         | Some po, tokens -> parse_object_line po line_number tokens
-        | None, tokens -> parse_top state line_number tokens)
-      (String.split_on_char '\n' text);
-    (match state.current with
-    | Some po -> fail po.po_line (Printf.sprintf "object %s: missing '}'" po.po_path)
-    | None -> ());
-    let levels =
-      match state.levels with
-      | Some levels -> levels
-      | None -> fail 0 "missing levels declaration"
-    in
-    let categories = Option.value state.categories ~default:[] in
-    Ok
-      {
-        levels;
-        categories;
-        individuals = List.rev state.individuals;
-        groups = List.rev state.groups;
-        clearances = List.rev state.clearances;
-        quotas = List.rev state.quotas;
-        objects = List.rev state.objects;
-      }
-  with
-  | Parse_failure error -> Error error
+        | None, tokens -> parse_top state line_number tokens
+      with
+      | Parse_failure error -> note error)
+    (String.split_on_char '\n' text);
+  (match state.current with
+  | Some po ->
+    note { line = po.po_line; message = Printf.sprintf "object %s: missing '}'" po.po_path };
+    finish_current ()
+  | None -> ());
+  let levels =
+    match state.levels with
+    | Some levels -> levels
+    | None ->
+      note { line = 0; message = "missing levels declaration" };
+      []
+  in
+  let categories = Option.value state.categories ~default:[] in
+  ( {
+      levels;
+      categories;
+      individuals = List.rev state.individuals;
+      groups = List.rev state.groups;
+      clearances = List.rev state.clearances;
+      quotas = List.rev state.quotas;
+      objects = List.rev state.objects;
+    },
+    List.rev !errors )
+
+let parse text =
+  match parse_lenient text with
+  | spec, [] -> Ok spec
+  | _, error :: _ -> Error error
 
 (* {1 Printing} *)
 

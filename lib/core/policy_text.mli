@@ -94,6 +94,20 @@ type error = {
 val pp_error : Format.formatter -> error -> unit
 
 val parse : string -> (t, error) result
+(** First-error parsing: [Ok spec] on a clean text, the {e first}
+    defect otherwise (a thin wrapper over {!parse_lenient} for callers
+    that only need a yes/no). *)
+
+val parse_lenient : string -> t * error list
+(** Parse the whole text, accumulating {e every} parse error with its
+    line number instead of stopping at the first — [exsecd analyze]
+    reports a policy's full defect set in one run.  The returned spec
+    is best-effort: malformed lines are skipped, an unterminated or
+    incomplete object block contributes what it validly declared, and
+    a missing [levels] declaration yields an empty level list (such a
+    spec will not {!build}).  The error list is empty iff {!parse}
+    would succeed. *)
+
 val to_string : t -> string
 
 (** The live artifacts a spec builds into. *)

@@ -43,6 +43,7 @@ let set_policy monitor policy =
   Option.iter Decision_cache.flush monitor.cache
 
 let audit monitor = monitor.audit
+let policy_epoch monitor = Atomic.get monitor.policy_epoch
 let cache_stats monitor = Option.map Decision_cache.stats monitor.cache
 
 let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =

@@ -44,6 +44,14 @@ val set_policy : t -> Policy.t -> unit
 
 val audit : t -> Audit.t
 
+val policy_epoch : t -> int
+(** The current policy epoch: a monotone counter bumped by every
+    {!set_policy}.  Link-time certificates (see [Exsec_analysis]) are
+    stamped with the epoch they were proved under and stop admitting
+    calls as soon as the epoch moves — the same generation-validation
+    scheme the decision cache uses, applied to statically certified
+    extensions. *)
+
 val cache_stats : t -> Decision_cache.stats option
 (** Hit/miss/eviction/invalidation counters and current size of the
     decision cache; [None] when the monitor was created with

@@ -15,8 +15,10 @@ type t = {
   hierarchy : Level.hierarchy;
   universe : Category.universe;
   admin : Principal.individual;
+  registry : Clearance.t option;
   mutable next_thread_id : int;
   loaded : (string, Extension.t * Path.t list) Hashtbl.t;
+  certificates : (string, Exsec_analysis.Certificate.t) Hashtbl.t;
   quota : Quota.t;
 }
 
@@ -30,6 +32,7 @@ let sched kernel = kernel.sched
 let db kernel = Reference_monitor.db kernel.monitor
 let hierarchy kernel = kernel.hierarchy
 let universe kernel = kernel.universe
+let registry kernel = kernel.registry
 
 let subject_for _kernel principal clearance = Subject.make principal clearance
 
@@ -60,7 +63,7 @@ let error_of_denial = function
   | Resolver.Name_error error ->
     Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error)
 
-let boot ?policy ?cache ?cache_capacity ~db ~admin ~hierarchy ~universe () =
+let boot ?policy ?cache ?cache_capacity ?registry ~db ~admin ~hierarchy ~universe () =
   let monitor = Reference_monitor.create ?policy ?cache ?cache_capacity db in
   let bottom = Security_class.bottom hierarchy universe in
   let dir_acl =
@@ -77,8 +80,10 @@ let boot ?policy ?cache ?cache_capacity ~db ~admin ~hierarchy ~universe () =
       hierarchy;
       universe;
       admin;
+      registry;
       next_thread_id = 0;
       loaded = Hashtbl.create 8;
+      certificates = Hashtbl.create 8;
       quota = Quota.create ();
     }
   in
@@ -136,6 +141,19 @@ let install_iface kernel ~subject ~mount ~meta iface impl_of =
 
 (* {1 Invocation} *)
 
+(* The certified fast path: a call may skip the reference monitor when
+   the caller holds a link-time certificate that still admits this
+   (subject, path) — proof Always_allow, policy epoch and every
+   consulted generation unchanged, subject inside the proved domain
+   (see Exsec_analysis.Certificate).  A stale certificate fails closed
+   into the fully checked path. *)
+let certificate_admits kernel ~caller ~subject path =
+  match Hashtbl.find_opt kernel.certificates caller with
+  | None -> false
+  | Some certificate ->
+    Exsec_analysis.Certificate.admits certificate ~monitor:kernel.monitor
+      ~namespace:(Resolver.namespace kernel.resolver) ~subject path
+
 let rec make_ctx kernel ~subject ~caller =
   {
     Service.subject;
@@ -173,6 +191,7 @@ and call ?(checked = true) kernel ~subject ~caller path args =
   | Ok () -> call_uncharged ~checked kernel ~subject ~caller path args
 
 and call_uncharged ~checked kernel ~subject ~caller path args =
+  let checked = checked && not (certificate_admits kernel ~caller ~subject path) in
   let resolved =
     if checked then
       match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Execute path with
@@ -295,8 +314,18 @@ let run ?max_quanta kernel = Sched.run ?max_quanta kernel.sched
 let note_loaded kernel extension ~installed =
   Hashtbl.replace kernel.loaded extension.Extension.ext_name (extension, installed)
 
-let forget_loaded kernel name = Hashtbl.remove kernel.loaded name
+let forget_loaded kernel name =
+  Hashtbl.remove kernel.loaded name;
+  Hashtbl.remove kernel.certificates name
+
 let find_loaded kernel name = Hashtbl.find_opt kernel.loaded name
+
+let note_certificate kernel certificate =
+  Hashtbl.replace kernel.certificates
+    certificate.Exsec_analysis.Certificate.extension certificate
+
+let revoke_certificate kernel name = Hashtbl.remove kernel.certificates name
+let certificate_of kernel name = Hashtbl.find_opt kernel.certificates name
 
 let loaded_extensions kernel =
   Hashtbl.fold (fun name _ acc -> name :: acc) kernel.loaded [] |> List.sort String.compare

@@ -31,6 +31,7 @@ val boot :
   ?policy:Policy.t ->
   ?cache:bool ->
   ?cache_capacity:int ->
+  ?registry:Clearance.t ->
   db:Principal.Db.t ->
   admin:Principal.individual ->
   hierarchy:Level.hierarchy ->
@@ -41,7 +42,10 @@ val boot :
     standard directories; every principal can traverse ([List]) them.
     [cache]/[cache_capacity] are passed to
     {!Reference_monitor.create}: the decision cache is on by default
-    and can be disabled (or resized) for ablation. *)
+    and can be disabled (or resized) for ablation.  [registry] is the
+    deployment's clearance registry; supplying it lets the linker
+    issue link-time certificates ({!Exsec_analysis.Certificate}) so
+    fully proved extensions skip per-call monitor work. *)
 
 val monitor : t -> Reference_monitor.t
 
@@ -57,6 +61,9 @@ val sched : t -> Sched.t
 val db : t -> Principal.Db.t
 val hierarchy : t -> Level.hierarchy
 val universe : t -> Category.universe
+
+val registry : t -> Clearance.t option
+(** The clearance registry the kernel was booted with, if any. *)
 
 val quota : t -> Quota.t
 (** The per-principal resource-budget table (see {!Quota}); empty at
@@ -153,8 +160,29 @@ val run : ?max_quanta:int -> t -> int
 (** {1 Loaded-extension registry} (maintained by {!Linker}) *)
 
 val note_loaded : t -> Extension.t -> installed:Path.t list -> unit
+
 val forget_loaded : t -> string -> unit
+(** Also drops any certificate held for the extension. *)
+
 val find_loaded : t -> string -> (Extension.t * Path.t list) option
 val loaded_extensions : t -> string list
+
+(** {1 Link-time certificates} (issued by {!Linker})
+
+    A certificate lets {!call} skip the reference monitor for an
+    import it proved [Always_allow] at link time, as long as the
+    certificate still validates — policy epoch, principal-database
+    generation and every consulted metadata generation unchanged, and
+    the calling subject inside the proved domain.  Stale certificates
+    fail closed into the fully checked path; {!Reference_monitor.set_policy}
+    (epoch bump) revokes every certificate at once. *)
+
+val note_certificate : t -> Exsec_analysis.Certificate.t -> unit
+val revoke_certificate : t -> string -> unit
+val certificate_of : t -> string -> Exsec_analysis.Certificate.t option
+
+val certificate_admits : t -> caller:string -> subject:Subject.t -> Path.t -> bool
+(** [true] when the caller's certificate admits this call right now
+    (see {!Exsec_analysis.Certificate.admits}). *)
 
 val error_of_denial : Resolver.denial -> Service.error

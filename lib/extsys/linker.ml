@@ -25,12 +25,14 @@ module Linked = struct
     extension : Extension.t;
     import_table : (Path.t * Kernel.entry Namespace.node) list;
     provided_paths : Path.t list;
+    certificate : Exsec_analysis.Certificate.t option;
   }
 
   let extension linked = linked.extension
   let name linked = linked.extension.Extension.ext_name
   let imports linked = List.map fst linked.import_table
   let provided_paths linked = linked.provided_paths
+  let certificate linked = linked.certificate
 
   let subject_for linked subject =
     match linked.extension.Extension.static_class with
@@ -226,11 +228,26 @@ let link kernel ~subject (extension : Extension.t) =
        its directory and procedures carry the extension's class. *)
     let* installed = install_provides kernel ~subject:capped extension in
     register_handlers kernel ~subject extension;
+    (* With a clearance registry at hand, prove the import set over
+       the whole registered session space: imports proved Always_allow
+       skip the monitor per call until the proof's state moves
+       (Exsec_analysis.Certificate). *)
+    let certificate =
+      match Kernel.registry kernel with
+      | None -> None
+      | Some registry ->
+        Some
+          (Exsec_analysis.Certificate.issue ~monitor:(Kernel.monitor kernel) ~registry
+             ~namespace:(Kernel.namespace kernel)
+             ?static_class:extension.Extension.static_class ~extension:name
+             ~imports:all_imports ())
+    in
     let linked =
-      { Linked.kernel; extension; import_table; provided_paths = installed }
+      { Linked.kernel; extension; import_table; provided_paths = installed; certificate }
     in
     let finish () =
       Kernel.note_loaded kernel extension ~installed;
+      Option.iter (Kernel.note_certificate kernel) certificate;
       Ok linked
     in
     match extension.Extension.init with

@@ -45,6 +45,16 @@ module Linked : sig
   val imports : t -> Path.t list
   val provided_paths : t -> Path.t list
 
+  val certificate : t -> Exsec_analysis.Certificate.t option
+  (** The link-time certificate issued for this extension's imports —
+      present iff the kernel was booted with a clearance registry.
+      Imports proved [Always_allow] are served by the certified fast
+      path: {!Kernel.call} skips the reference monitor entirely (even
+      under [recheck_calls]) until the certificate stops validating —
+      a policy swap, membership churn, any metadata change on the
+      import's path, or a subject outside the proved domain all fall
+      back to the checked path. *)
+
   val subject_for : t -> Subject.t -> Subject.t
   (** The given thread's subject with this extension's static class
       applied as a ceiling (identity when the extension is unpinned). *)

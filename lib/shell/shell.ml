@@ -105,7 +105,7 @@ let create ?policy () =
   in
   try
     Principal.Db.add_individual db kernel_admin;
-    let kernel = Kernel.boot ~db ~admin:kernel_admin ~hierarchy ~universe () in
+    let kernel = Kernel.boot ~registry ~db ~admin:kernel_admin ~hierarchy ~universe () in
     let admin_sub = Kernel.admin_subject kernel in
     let ( let* ) = Result.bind in
     let booted =

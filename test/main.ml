@@ -12,6 +12,7 @@ let () =
       "clearance", Test_clearance.suite;
       "flow", Test_flow.suite;
       "policy-text", Test_policy_text.suite;
+      "analysis", Test_analysis.suite;
       "path", Test_path.suite;
       "namespace", Test_namespace.suite;
       "resolver", Test_resolver.suite;

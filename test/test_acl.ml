@@ -187,6 +187,45 @@ let prop_permits_subset_of_mentions =
           else true)
         Access_mode.all)
 
+let prop_normalize_invariant =
+  (* Satellite of the static analyzer: the canonical form the
+     redundant-entry lint reasons about must decide exactly like the
+     original list — same constructor class for every subject/mode
+     (the diagnostic [who] inside Granted may legitimately differ when
+     merging reorders group matches). *)
+  QCheck.Test.make ~name:"normalize preserves every check outcome" ~count:300
+    (QCheck.small_list
+       (QCheck.triple (QCheck.int_bound 3) QCheck.bool (QCheck.small_list arb_mode)))
+    (fun spec ->
+      let db, alice, bob, mallory, staff = db_with_staff () in
+      let who_of = function
+        | 0 -> Acl.Individual alice
+        | 1 -> Acl.Individual bob
+        | 2 -> Acl.Group staff
+        | _ -> Acl.Everyone
+      in
+      let acl =
+        Acl.of_entries
+          (List.map
+             (fun (w, positive, modes) ->
+               (if positive then Acl.allow else Acl.deny) (who_of w) modes)
+             spec)
+      in
+      let normalized = Acl.normalize acl in
+      let verdict_class = function
+        | Acl.Granted _ -> 0
+        | Acl.Denied_by _ -> 1
+        | Acl.No_entry -> 2
+      in
+      List.for_all
+        (fun subject ->
+          List.for_all
+            (fun mode ->
+              verdict_class (Acl.check ~db ~subject ~mode acl)
+              = verdict_class (Acl.check ~db ~subject ~mode normalized))
+            Access_mode.all)
+        [ alice; bob; mallory; Principal.individual "outsider" ])
+
 let suite =
   [
     Alcotest.test_case "empty denies" `Quick test_empty_denies;
@@ -201,4 +240,5 @@ let suite =
     Alcotest.test_case "owner default" `Quick test_owner_default;
     QCheck_alcotest.to_alcotest prop_deny_monotone;
     QCheck_alcotest.to_alcotest prop_permits_subset_of_mentions;
+    QCheck_alcotest.to_alcotest prop_normalize_invariant;
   ]

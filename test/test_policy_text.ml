@@ -261,5 +261,56 @@ let test_quota_declarations () =
     | Ok _ -> Alcotest.fail "undeclared principal accepted")
   | Error _ -> Alcotest.fail "parse should succeed (build rejects)"
 
+let test_parse_lenient_accumulates () =
+  let source =
+    "levels a > b\n\
+     individual eve\n\
+     frobnicate eve\n\
+     clearance eve = b\n\
+     quota eve frobs=3\n\
+     object /fs/x {\n\
+    \  owner eve\n\
+    \  class b\n\
+    \  allow user:eve read\n\
+    \  bogus line\n\
+     }\n"
+  in
+  let spec, errors = Policy_text.parse_lenient source in
+  Alcotest.(check int) "all defects reported" 3 (List.length errors);
+  (* Line numbers point at the offending lines, in order. *)
+  Alcotest.(check (list int)) "lines" [ 3; 5; 10 ]
+    (List.map (fun e -> e.Policy_text.line) errors);
+  (* The valid declarations survive around the defects. *)
+  check "individual kept" true (List.mem "eve" spec.Policy_text.individuals);
+  Alcotest.(check int) "clearance kept" 1 (List.length spec.Policy_text.clearances);
+  (match spec.Policy_text.objects with
+  | [ obj ] ->
+    check "object path kept" true (obj.Policy_text.path = "/fs/x");
+    Alcotest.(check int) "valid entries kept" 1 (List.length obj.Policy_text.entries)
+  | _ -> Alcotest.fail "expected the one object block");
+  (* First error agrees with strict parse. *)
+  (match Policy_text.parse source with
+  | Error e -> Alcotest.(check int) "strict = first lenient" 3 e.Policy_text.line
+  | Ok _ -> Alcotest.fail "strict parse should fail");
+  (* Clean text: no errors, same spec as strict parse. *)
+  let clean = "levels a > b\nindividual eve\nclearance eve = b\n" in
+  let lenient_spec, no_errors = Policy_text.parse_lenient clean in
+  check "clean text has no errors" true (no_errors = []);
+  match Policy_text.parse clean with
+  | Ok strict_spec -> check "same spec" true (Policy_text.equal strict_spec lenient_spec)
+  | Error _ -> Alcotest.fail "clean parse"
+
+let test_parse_lenient_missing_levels () =
+  let spec, errors = Policy_text.parse_lenient "individual eve\n" in
+  check "levels absence reported" true
+    (List.exists (fun e -> e.Policy_text.line = 0) errors);
+  check "empty hierarchy" true (spec.Policy_text.levels = [])
+
 let suite =
-  suite @ [ Alcotest.test_case "quota declarations" `Quick test_quota_declarations ]
+  suite
+  @ [
+      Alcotest.test_case "quota declarations" `Quick test_quota_declarations;
+      Alcotest.test_case "parse_lenient accumulates" `Quick test_parse_lenient_accumulates;
+      Alcotest.test_case "parse_lenient missing levels" `Quick
+        test_parse_lenient_missing_levels;
+    ]
