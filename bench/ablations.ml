@@ -341,6 +341,158 @@ let a6 () =
   Format.printf
     "it as global revocations (membership churn, policy swaps) dominate@."
 
+(* {1 A8: compiled ACL decision path; sharded audit pipeline} *)
+
+(* One ACL of [len] entries whose only match for alice sits last — the
+   interpreted walk scans everything, the compiled form answers from
+   the same flat probe regardless.  [depth] > 0 routes the grant
+   through a [depth]-level nested group chain. *)
+let a8_case ~len ~depth =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  Principal.Db.add_individual db alice;
+  let fillers =
+    List.init (len - 1) (fun i -> Principal.individual (Printf.sprintf "f%d" i))
+  in
+  List.iter (Principal.Db.add_individual db) fillers;
+  let grant_who =
+    if depth = 0 then Acl.Individual alice
+    else (
+      let innermost = Principal.group "g0" in
+      Principal.Db.add_member db innermost (Principal.Ind alice);
+      let outer =
+        List.fold_left
+          (fun inner i ->
+            let group = Principal.group (Printf.sprintf "g%d" i) in
+            Principal.Db.add_member db group (Principal.Grp inner);
+            group)
+          innermost
+          (List.init (depth - 1) (fun i -> i + 1))
+      in
+      Acl.Group outer)
+  in
+  let acl =
+    Acl.of_entries
+      (List.map (fun f -> Acl.allow (Acl.Individual f) [ Access_mode.Read ]) fillers
+      @ [ Acl.allow grant_who [ Access_mode.Read ] ])
+  in
+  db, alice, acl
+
+(* Aggregate audited checks per second: [domains] domains, one subject
+   each (so the streams land in distinct audit shards), all recording
+   into one shared monitor. *)
+let a8_audit_throughput ~audit_shards ~domains ~ops_per_domain =
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let bottom = Security_class.bottom hierarchy universe in
+  let db = Principal.Db.create () in
+  let subjects =
+    Array.init domains (fun i ->
+        let principal = Principal.individual (Printf.sprintf "u%d" i) in
+        Principal.Db.add_individual db principal;
+        Subject.make principal bottom)
+  in
+  let owner = Principal.individual "owner" in
+  Principal.Db.add_individual db owner;
+  let acl = Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.Read ] ] in
+  let meta = Meta.make ~owner ~acl bottom in
+  let monitor =
+    Reference_monitor.create ~audit_capacity:1024 ~audit_shards ~cache:false db
+  in
+  let run i () =
+    let subject = subjects.(i) in
+    for _ = 1 to ops_per_domain do
+      ignore
+        (Reference_monitor.check monitor ~subject ~meta ~object_name:"/bench/o"
+           ~mode:Access_mode.Read)
+    done
+  in
+  run 0 ();
+  let start = Timing.now_ns () in
+  let handles = List.init domains (fun i -> Domain.spawn (run i)) in
+  List.iter Domain.join handles;
+  let elapsed_s = (Timing.now_ns () -. start) /. 1e9 in
+  float_of_int (domains * ops_per_domain) /. elapsed_s
+
+let a8 () =
+  header "A8  Compiled ACL decision path; sharded audit pipeline";
+  (* Part 1: the discretionary decision itself.  interpreted = the
+     Acl.check list walk; compiled = the Acl_compiled flat probe;
+     the monitor columns wrap the compiled path in the full uncached
+     and cached decide (DAC-only policy isolates the layer). *)
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let bottom = Security_class.bottom hierarchy universe in
+  Format.printf "%-8s %-6s %-12s %-12s %-12s %-12s %-9s %-12s@." "acl-len" "depth"
+    "interpreted" "compiled" "unc-decide" "cach-decide" "speedup" "compile";
+  List.iter
+    (fun len ->
+      List.iter
+        (fun depth ->
+          let db, alice, acl = a8_case ~len ~depth in
+          let interpreted =
+            Timing.ns_per_op ~warmup:2000 (fun () ->
+                ignore (Acl.check ~db ~subject:alice ~mode:Access_mode.Read acl))
+          in
+          let compiled_form = Acl_compiled.compile ~db acl in
+          let compiled =
+            Timing.ns_per_op ~warmup:2000 (fun () ->
+                ignore
+                  (Acl_compiled.check compiled_form ~subject:alice ~mode:Access_mode.Read))
+          in
+          let compile_cost =
+            Timing.ns_per_op ~warmup:50 ~batch:200 ~batches:5 (fun () ->
+                ignore (Acl_compiled.compile ~db acl))
+          in
+          let meta = Meta.make ~owner:alice ~acl bottom in
+          let subject = Subject.make alice bottom in
+          let decide_with monitor =
+            Timing.ns_per_op ~warmup:2000 (fun () ->
+                ignore
+                  (Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read))
+          in
+          let uncached =
+            decide_with (Reference_monitor.create ~policy:Policy.dac_only ~cache:false db)
+          in
+          let cached =
+            decide_with (Reference_monitor.create ~policy:Policy.dac_only ~cache:true db)
+          in
+          Format.printf "%-8d %-6d %a %a %a %a %8.1fx %a@." len depth Timing.pp_ns
+            interpreted Timing.pp_ns compiled Timing.pp_ns uncached Timing.pp_ns cached
+            (interpreted /. compiled) Timing.pp_ns compile_cost)
+        [ 0; 2 ])
+    [ 4; 16; 64 ];
+  Format.printf
+    "expected shape: interpreted grows with ACL length and group depth; compiled@.";
+  Format.printf
+    "is flat (id probe + bit tests, zero allocation) and the uncached decide now@.";
+  Format.printf
+    "tracks it; compilation is a one-off cost amortized by the metadata memo@.";
+  (* Part 2: audited check throughput vs audit sharding.  Distinct
+     subject per domain -> distinct shard; with one shard every record
+     serializes on a single mutex. *)
+  Format.printf "@.runtime-recognized cores: %d@." (Domain.recommended_domain_count ());
+  Format.printf "%-8s %-15s %-15s %s@." "domains" "audit-shards=1" "audit-shards=8"
+    "sharded/single";
+  List.iter
+    (fun domains ->
+      let single =
+        a8_audit_throughput ~audit_shards:1 ~domains ~ops_per_domain:50_000
+      in
+      let sharded =
+        a8_audit_throughput ~audit_shards:8 ~domains ~ops_per_domain:50_000
+      in
+      Format.printf "%-8d %8.2f Mops/s %8.2f Mops/s %10.2fx@." domains (single /. 1e6)
+        (sharded /. 1e6) (sharded /. single))
+    [ 1; 2; 4; 8 ];
+  Format.printf
+    "expected shape: with one shard every audited check serializes on the ring@.";
+  Format.printf
+    "mutex and adding domains flattens; with 8 shards each domain's stream takes@.";
+  Format.printf
+    "its own lock and throughput scales with cores (on a single-core host both@.";
+  Format.printf "collapse to timeslicing and the ratio sits near 1x, as in S1)@."
+
 (* {1 A7: static analysis cost; certified vs per-call dispatch} *)
 
 let a7_policy_text ~objects =

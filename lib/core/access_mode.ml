@@ -78,6 +78,7 @@ module Set = struct
 
   let equal = Int.equal
   let compare = Int.compare
+  let to_int set = set
 
   let pp ppf set =
     Format.fprintf ppf "{%a}"

@@ -69,6 +69,12 @@ module Set : sig
   val cardinal : t -> int
   val equal : t -> t -> bool
   val compare : t -> t -> int
+
+  val to_int : t -> int
+  (** The underlying bit set: bit [index m] is set iff [mem m].  The
+      compiled ACL form ({!Acl_compiled}) packs these masks into flat
+      arrays; everything else should stay with the typed API. *)
+
   val pp : Format.formatter -> t -> unit
 
   val read_write : t

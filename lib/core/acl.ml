@@ -13,13 +13,22 @@ type entry = {
   modes : Access_mode.Set.t;
 }
 
-type t = entry list
+(* Entries are held newest-first so [add] — the builder loop's
+   workhorse — is an O(1) cons instead of an O(n) append (O(n^2) when
+   growing an ACL entry by entry).  [entries] restores the public
+   oldest-first order; [check] scans the reversed list directly and
+   keeps the {e last} match it sees per tier, which is exactly the
+   first match in entry order. *)
+type t = {
+  rev : entry list;
+  len : int;
+}
 
-let empty = []
-let of_entries entries = entries
-let entries acl = acl
-let add e acl = acl @ [ e ]
-let length = List.length
+let empty = { rev = []; len = 0 }
+let of_entries entries = { rev = List.rev entries; len = List.length entries }
+let entries acl = List.rev acl.rev
+let add e acl = { rev = e :: acl.rev; len = acl.len + 1 }
+let length acl = acl.len
 
 let equal_who a b =
   match a, b with
@@ -31,7 +40,7 @@ let equal_who a b =
 let equal_entry a b =
   equal_who a.who b.who && a.sign = b.sign && Access_mode.Set.equal a.modes b.modes
 
-let equal a b = List.equal equal_entry a b
+let equal a b = a.len = b.len && List.equal equal_entry a.rev b.rev
 
 let pp_who ppf = function
   | Individual ind -> Format.fprintf ppf "user:%a" Principal.pp_individual ind
@@ -46,7 +55,7 @@ let pp_entry ppf e =
 let pp ppf acl =
   Format.fprintf ppf "[@[%a@]]"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_entry)
-    acl
+    (entries acl)
 
 let normalize acl =
   (* One left-to-right pass: fold each entry into the first earlier
@@ -64,15 +73,16 @@ let normalize acl =
         match absorb acc with
         | Some acc -> acc
         | None -> e :: acc)
-      [] acl
+      [] (entries acl)
   in
-  List.rev (List.filter (fun e -> not (Access_mode.Set.is_empty e.modes)) merged)
+  of_entries
+    (List.rev (List.filter (fun e -> not (Access_mode.Set.is_empty e.modes)) merged))
 
 let entry who sign modes = { who; sign; modes = Access_mode.Set.of_list modes }
 let allow who modes = entry who Allow modes
 let deny who modes = entry who Deny modes
 let allow_all who = { who; sign = Allow; modes = Access_mode.Set.full }
-let owner_default owner = [ allow_all (Individual owner) ]
+let owner_default owner = of_entries [ allow_all (Individual owner) ]
 
 type verdict =
   | Granted of who
@@ -92,45 +102,31 @@ let matches_subject ~db ~subject who =
   | Everyone -> true
 
 let check ~db ~subject ~mode acl =
-  (* One pass: remember, for each tier, whether a matching allow or
-     deny for [mode] was seen.  The most specific tier with any match
-     decides; deny beats allow within a tier. *)
-  let allow_at = [| false; false; false |] in
+  (* One pass over the (newest-first) entries: remember, for each
+     tier, the matching allow and deny [who] for [mode].  Scanning in
+     reverse and overwriting on every match leaves the {e first}
+     matching entry in ACL order in each slot, so the grant/deny
+     diagnostics come out of the same single scan — no re-scan.  The
+     most specific tier with any match decides; deny beats allow
+     within a tier. *)
+  let allow_at = [| None; None; None |] in
   let deny_at = [| None; None; None |] in
   let scan e =
     if Access_mode.Set.mem mode e.modes && matches_subject ~db ~subject e.who then begin
       let t = tier e.who in
       match e.sign with
-      | Allow -> allow_at.(t) <- true
-      | Deny -> if deny_at.(t) = None then deny_at.(t) <- Some e.who
+      | Allow -> allow_at.(t) <- Some e.who
+      | Deny -> deny_at.(t) <- Some e.who
     end
   in
-  List.iter scan acl;
+  List.iter scan acl.rev;
   let rec decide t =
     if t > 2 then No_entry
     else
       match deny_at.(t), allow_at.(t) with
       | Some who, _ -> Denied_by who
-      | None, true ->
-        let who =
-          match t with
-          | 0 -> Individual subject
-          | 1 ->
-            (* Report the first matching allow group for diagnostics. *)
-            (match
-               List.find_opt
-                 (fun e ->
-                   e.sign = Allow && tier e.who = 1
-                   && Access_mode.Set.mem mode e.modes
-                   && matches_subject ~db ~subject e.who)
-                 acl
-             with
-            | Some e -> e.who
-            | None -> Everyone)
-          | _ -> Everyone
-        in
-        Granted who
-      | None, false -> decide (t + 1)
+      | None, Some who -> Granted who
+      | None, None -> decide (t + 1)
   in
   decide 0
 
@@ -140,7 +136,30 @@ let permits ~db ~subject ~mode acl =
   | Denied_by _ | No_entry -> false
 
 let modes_of ~db ~subject acl =
-  List.fold_left
-    (fun set mode ->
-      if permits ~db ~subject ~mode acl then Access_mode.Set.add mode set else set)
-    Access_mode.Set.empty Access_mode.all
+  (* Single pass over the entries (one membership test per entry,
+     instead of one full [permits] walk per mode): accumulate per-tier
+     allow/deny mode sets, then resolve precedence mode-wise — each
+     mode is decided by the most specific tier that mentions it, and
+     granted there iff allowed and not denied. *)
+  let allow_at = Array.make 3 Access_mode.Set.empty in
+  let deny_at = Array.make 3 Access_mode.Set.empty in
+  List.iter
+    (fun e ->
+      if matches_subject ~db ~subject e.who then begin
+        let t = tier e.who in
+        match e.sign with
+        | Allow -> allow_at.(t) <- Access_mode.Set.union allow_at.(t) e.modes
+        | Deny -> deny_at.(t) <- Access_mode.Set.union deny_at.(t) e.modes
+      end)
+    acl.rev;
+  let granted = ref Access_mode.Set.empty in
+  let decided = ref Access_mode.Set.empty in
+  for t = 0 to 2 do
+    let mentioned = Access_mode.Set.union allow_at.(t) deny_at.(t) in
+    let fresh = Access_mode.Set.diff mentioned !decided in
+    granted :=
+      Access_mode.Set.union !granted
+        (Access_mode.Set.inter fresh (Access_mode.Set.diff allow_at.(t) deny_at.(t)));
+    decided := Access_mode.Set.union !decided mentioned
+  done;
+  !granted

@@ -35,9 +35,13 @@ val empty : t
 val of_entries : entry list -> t
 val entries : t -> entry list
 val add : entry -> t -> t
-(** [add e acl] appends [e] to [acl]'s entries. *)
+(** [add e acl] appends [e] to [acl]'s entries.  O(1): the
+    representation keeps entries newest-first internally, so growing
+    an ACL entry by entry is linear overall, not quadratic. *)
 
 val length : t -> int
+(** The number of entries; O(1). *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
@@ -89,4 +93,6 @@ val permits :
 
 val modes_of :
   db:Principal.Db.t -> subject:Principal.individual -> t -> Access_mode.Set.t
-(** The exact set of modes {!permits} would grant [subject]. *)
+(** The exact set of modes {!permits} would grant [subject].  Computed
+    in a single pass over the entries (one membership resolution per
+    entry), not one {!check} walk per mode. *)

@@ -1,0 +1,126 @@
+(* The compiled form of an ACL: the three precedence tiers flattened
+   into packed allow/deny mode-mask integers keyed by the interned
+   principal ids of a Principal.Db.Snapshot.  A check is a handful of
+   bitwise operations and allocates nothing; the who diagnostics of
+   the interpreted walk are recovered lazily by the caller (the
+   reference monitor re-runs Acl.check only on the deny path). *)
+
+(* Each mask packs allow bits in the low byte and deny bits in the
+   next byte (8 access modes fit in 8 bits). *)
+let deny_shift = 8
+
+type t = {
+  snapshot : Principal.Db.Snapshot.t;
+  ind_masks : int array;
+      (* individual-tier masks, indexed by interned individual id *)
+  extra_names : string array;
+      (* ACL-mentioned individuals unknown to the snapshot (never
+         registered in the database); matched by name on lookup *)
+  extra_masks : int array;
+  grp_masks : int array;
+      (* group-tier masks flattened per individual: the union of every
+         group entry whose group transitively contains the individual *)
+  evr_mask : int;
+}
+
+type verdict =
+  | Granted
+  | Denied
+  | No_entry
+
+let db_generation compiled = Principal.Db.Snapshot.generation compiled.snapshot
+let snapshot compiled = compiled.snapshot
+
+let shifted_mask (entry : Acl.entry) =
+  let modes = Access_mode.Set.to_int entry.Acl.modes in
+  match entry.Acl.sign with
+  | Acl.Allow -> modes
+  | Acl.Deny -> modes lsl deny_shift
+
+let compile ~db acl =
+  let snapshot = Principal.Db.snapshot db in
+  let count = Principal.Db.Snapshot.individual_count snapshot in
+  let ind_masks = Array.make (Stdlib.max 1 count) 0 in
+  let grp_masks = Array.make (Stdlib.max 1 count) 0 in
+  let evr_mask = ref 0 in
+  let extras = ref [] in
+  let add_extra name mask =
+    match List.assoc_opt name !extras with
+    | Some prior -> extras := (name, prior lor mask) :: List.remove_assoc name !extras
+    | None -> extras := (name, mask) :: !extras
+  in
+  List.iter
+    (fun (entry : Acl.entry) ->
+      let mask = shifted_mask entry in
+      match entry.Acl.who with
+      | Acl.Everyone -> evr_mask := !evr_mask lor mask
+      | Acl.Individual ind -> (
+        match Principal.Db.Snapshot.individual_id snapshot ind with
+        | -1 -> add_extra (Principal.individual_name ind) mask
+        | id -> ind_masks.(id) <- ind_masks.(id) lor mask)
+      | Acl.Group grp ->
+        let group_id = Principal.Db.Snapshot.group_id snapshot grp in
+        if group_id >= 0 then
+          for individual_id = 0 to count - 1 do
+            if Principal.Db.Snapshot.is_member snapshot ~individual_id ~group_id then
+              grp_masks.(individual_id) <- grp_masks.(individual_id) lor mask
+          done
+        (* An unregistered group has no members: it can match nobody,
+           exactly as in the interpreted walk, so it compiles away.
+           Registering it with members bumps the database generation
+           and forces a recompile. *))
+    (Acl.entries acl);
+  {
+    snapshot;
+    ind_masks;
+    extra_names = Array.of_list (List.map fst !extras);
+    extra_masks = Array.of_list (List.map snd !extras);
+    evr_mask = !evr_mask;
+    grp_masks;
+  }
+
+(* Linear by-name scan over the (rare) ACL entries for principals the
+   database has never registered; allocation-free. *)
+let extra_mask compiled name =
+  let n = Array.length compiled.extra_names in
+  let rec find i =
+    if i >= n then 0
+    else if String.equal (Array.unsafe_get compiled.extra_names i) name then
+      Array.unsafe_get compiled.extra_masks i
+    else find (i + 1)
+  in
+  find 0
+
+let check compiled ~subject ~mode =
+  let allow_bit = 1 lsl Access_mode.index mode in
+  let deny_bit = allow_bit lsl deny_shift in
+  let id = Principal.Db.Snapshot.individual_id compiled.snapshot subject in
+  let ind_mask =
+    if id >= 0 then compiled.ind_masks.(id)
+    else extra_mask compiled (Principal.individual_name subject)
+  in
+  if ind_mask land deny_bit <> 0 then Denied
+  else if ind_mask land allow_bit <> 0 then Granted
+  else begin
+    let grp_mask = if id >= 0 then compiled.grp_masks.(id) else 0 in
+    if grp_mask land deny_bit <> 0 then Denied
+    else if grp_mask land allow_bit <> 0 then Granted
+    else if compiled.evr_mask land deny_bit <> 0 then Denied
+    else if compiled.evr_mask land allow_bit <> 0 then Granted
+    else No_entry
+  end
+
+let permits compiled ~subject ~mode =
+  match check compiled ~subject ~mode with
+  | Granted -> true
+  | Denied | No_entry -> false
+
+let verdict_class = function
+  | Granted -> 0
+  | Denied -> 1
+  | No_entry -> 2
+
+let pp_verdict ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Denied -> Format.pp_print_string ppf "denied"
+  | No_entry -> Format.pp_print_string ppf "no-entry"

@@ -1,0 +1,56 @@
+(** Compiled ACLs: the allocation-free decision hot path.
+
+    {!Acl.check} interprets an ACL as a list walk with a transitive
+    group-membership query per group entry.  This module compiles an
+    ACL — against a frozen {!Principal.Db.Snapshot} — into flat arrays
+    of packed allow/deny mode masks keyed by interned principal id,
+    with group membership pre-flattened into the per-individual
+    group-tier mask.  {!check} is then a snapshot id probe and a
+    handful of bitwise tests: no allocation, no list traversal, no
+    membership walk.
+
+    Validity follows the repo-wide generation scheme: a compiled ACL
+    is correct exactly while (a) the ACL value it was compiled from is
+    still the object's ACL (guarded by the {!Meta} generation of the
+    caching object) and (b) the database generation still equals
+    {!db_generation} (group membership unchanged).  {!Meta.compiled_acl}
+    enforces both and recompiles on any mismatch.
+
+    The verdict deliberately drops the [who] diagnostics of
+    {!Acl.verdict}; callers that need them (the reference monitor's
+    denial messages) re-run the interpreted walk on the slow path. *)
+
+type t
+
+type verdict =
+  | Granted
+  | Denied
+  | No_entry
+
+val compile : db:Principal.Db.t -> Acl.t -> t
+(** Compile [acl] against the database's current snapshot.  Cost is
+    O(entries + individuals x group entries); intended for the miss
+    path, with the result cached on the object's metadata. *)
+
+val check : t -> subject:Principal.individual -> mode:Access_mode.t -> verdict
+(** Decide [subject] requesting [mode].  Agrees with {!Acl.check} on
+    the verdict class (granted / denied / no-entry) whenever the
+    compiled form is valid (see above); a QCheck differential suite
+    holds the two implementations to that contract.  Never
+    allocates. *)
+
+val permits : t -> subject:Principal.individual -> mode:Access_mode.t -> bool
+(** [true] iff {!check} returns {!Granted}. *)
+
+val db_generation : t -> int
+(** The {!Principal.Db.generation} the compiled form is valid for. *)
+
+val snapshot : t -> Principal.Db.Snapshot.t
+(** The exact snapshot the form was compiled against (its interning
+    keys the mask arrays). *)
+
+val verdict_class : verdict -> int
+(** 0 granted, 1 denied, 2 no-entry; for differential comparison with
+    {!Acl.verdict}. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

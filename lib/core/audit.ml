@@ -8,67 +8,114 @@ type event = {
   decision : Decision.t;
 }
 
-(* The ring, counters and sequence number move together; one mutex
-   keeps a multi-domain recording burst from tearing them apart
-   (e.g. two events under one seq, or granted + denied <> total). *)
-type t = {
+(* The pipeline is sharded so concurrent recording domains do not
+   funnel through one global mutex: each shard carries its own ring,
+   cursor and grant/deny counters behind its own lock, while a single
+   atomic sequence counter orders events across shards.  A record
+   picks its shard by hashing the recording domain and the subject, so
+   one sequential stream (one domain, one subject) lands in one shard
+   and sees the classic exact ring semantics, while independent
+   domains take disjoint locks. *)
+type shard = {
   lock : Mutex.t;
-  capacity : int;
   ring : event option array;
-  mutable next_seq : int;
+  mutable cursor : int;  (* events ever appended to this shard *)
   mutable granted : int;
   mutable denied : int;
 }
 
-let create ?(capacity = 4096) () =
+type t = {
+  shards : shard array;
+  capacity : int;  (* per-shard ring capacity *)
+  next_seq : int Atomic.t;
+}
+
+let create ?(capacity = 4096) ?shards () =
   if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  let shard_count =
+    match shards with
+    | Some n when n <= 0 -> invalid_arg "Audit.create: shards must be positive"
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
   {
-    lock = Mutex.create ();
+    shards =
+      Array.init shard_count (fun _ ->
+          {
+            lock = Mutex.create ();
+            ring = Array.make capacity None;
+            cursor = 0;
+            granted = 0;
+            denied = 0;
+          });
     capacity;
-    ring = Array.make capacity None;
-    next_seq = 0;
-    granted = 0;
-    denied = 0;
+    next_seq = Atomic.make 0;
   }
 
+let shard_count log = Array.length log.shards
+let capacity log = log.capacity
+
+(* Decorrelate with a multiplicative mix, as in Decision_cache: the
+   raw domain id and subject hash are small and clustered. *)
+let shard_of log ~subject =
+  let key =
+    Hashtbl.hash (Principal.individual_name (Subject.principal subject))
+    + (31 * (Domain.self () :> int))
+  in
+  (key * 0x9e3779b1) lsr 16 mod Array.length log.shards
+
 let record log ~subject ~object_name ~object_id ~object_class ~mode decision =
-  Mutex.protect log.lock (fun () ->
-      let event =
-        {
-          seq = log.next_seq;
-          subject;
-          object_name;
-          object_id;
-          object_class;
-          mode;
-          decision;
-        }
-      in
-      log.ring.(log.next_seq mod log.capacity) <- Some event;
-      log.next_seq <- log.next_seq + 1;
-      if Decision.is_granted decision then log.granted <- log.granted + 1
-      else log.denied <- log.denied + 1)
+  (* The sequence stamp and the event record are built before any lock
+     is taken; the critical section is exactly the ring slot and
+     counter writes. *)
+  let seq = Atomic.fetch_and_add log.next_seq 1 in
+  let event = { seq; subject; object_name; object_id; object_class; mode; decision } in
+  let shard = log.shards.(shard_of log ~subject) in
+  Mutex.protect shard.lock (fun () ->
+      shard.ring.(shard.cursor mod log.capacity) <- Some event;
+      shard.cursor <- shard.cursor + 1;
+      if Decision.is_granted decision then shard.granted <- shard.granted + 1
+      else shard.denied <- shard.denied + 1)
 
 let events log =
-  Mutex.protect log.lock (fun () ->
-      let collected = ref [] in
-      for i = log.next_seq - 1 downto Stdlib.max 0 (log.next_seq - log.capacity) do
-        match log.ring.(i mod log.capacity) with
-        | Some event -> collected := event :: !collected
-        | None -> ()
-      done;
-      !collected)
+  (* Gather each shard's retained events under its own lock, then
+     merge on the global sequence number. *)
+  let collected =
+    Array.fold_left
+      (fun acc shard ->
+        Mutex.protect shard.lock (fun () ->
+            let out = ref acc in
+            for i = shard.cursor - 1 downto Stdlib.max 0 (shard.cursor - log.capacity) do
+              match shard.ring.(i mod log.capacity) with
+              | Some event -> out := event :: !out
+              | None -> ()
+            done;
+            !out))
+      [] log.shards
+  in
+  List.sort (fun a b -> Int.compare a.seq b.seq) collected
 
-let granted_total log = Mutex.protect log.lock (fun () -> log.granted)
-let denied_total log = Mutex.protect log.lock (fun () -> log.denied)
-let total log = Mutex.protect log.lock (fun () -> log.granted + log.denied)
+let fold_shards log init f =
+  Array.fold_left
+    (fun acc shard -> Mutex.protect shard.lock (fun () -> f acc shard))
+    init log.shards
+
+let granted_total log = fold_shards log 0 (fun acc shard -> acc + shard.granted)
+let denied_total log = fold_shards log 0 (fun acc shard -> acc + shard.denied)
+
+let total log =
+  fold_shards log 0 (fun acc shard -> acc + shard.granted + shard.denied)
 
 let clear log =
-  Mutex.protect log.lock (fun () ->
-      Array.fill log.ring 0 log.capacity None;
-      log.next_seq <- 0;
-      log.granted <- 0;
-      log.denied <- 0)
+  Array.iter
+    (fun shard ->
+      Mutex.protect shard.lock (fun () ->
+          Array.fill shard.ring 0 log.capacity None;
+          shard.cursor <- 0;
+          shard.granted <- 0;
+          shard.denied <- 0))
+    log.shards;
+  Atomic.set log.next_seq 0
 
 let pp_event ppf event =
   Format.fprintf ppf "#%d %a %a %s: %a" event.seq Subject.pp event.subject

@@ -2,11 +2,17 @@
 
     The paper lists auditing among the concerns an access-control
     model must support.  The reference monitor records every decision
-    here; the log keeps the most recent [capacity] events plus running
+    here; the log keeps a bounded window of recent events plus running
     totals, so long benchmarks do not grow memory without bound.
 
-    Every operation takes the log's internal mutex, so recording from
-    multiple domains is safe and the totals stay conserved:
+    The pipeline is {e sharded}: events are spread over per-shard
+    rings (shard key: a hash of the recording domain and the subject),
+    each behind its own mutex, with one shared atomic sequence counter
+    ordering events globally.  Recording domains therefore do not
+    serialize on a single lock — the property the multi-domain scaling
+    benches (A8) measure — while a single sequential stream (one
+    domain, one subject) stays in one shard and keeps the classic
+    exact last-[capacity] ring semantics.  Totals remain conserved:
     [granted_total + denied_total] always equals the number of
     completed {!record} calls. *)
 
@@ -22,8 +28,15 @@ type event = {
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] bounds retained events (default 4096, must be > 0). *)
+val create : ?capacity:int -> ?shards:int -> unit -> t
+(** [capacity] bounds the events each shard retains (default 4096,
+    must be > 0); aggregate retention is at most
+    [capacity * shards].  [shards] defaults to the runtime-recognized
+    domain count and must be positive. *)
+
+val shard_count : t -> int
+val capacity : t -> int
+(** Per-shard ring capacity. *)
 
 val record :
   t ->
@@ -34,9 +47,13 @@ val record :
   mode:Access_mode.t ->
   Decision.t ->
   unit
+(** Stamp the event from the shared sequence counter, build it outside
+    any critical section, then append it to its shard under that
+    shard's lock (ring slot + counters only). *)
 
 val events : t -> event list
-(** Retained events, oldest first. *)
+(** Retained events merged across shards on the global sequence
+    number, oldest first. *)
 
 val granted_total : t -> int
 val denied_total : t -> int

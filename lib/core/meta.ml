@@ -1,3 +1,10 @@
+type compiled_slot = {
+  compiled : Acl_compiled.t;
+  acl_generation : int;
+      (* the metadata generation the ACL was read under; the slot is
+         valid only while the object's generation still equals it *)
+}
+
 type t = {
   id : int;
   mutable owner : Principal.individual;
@@ -5,6 +12,7 @@ type t = {
   mutable klass : Security_class.t;
   mutable integrity : Security_class.t option;
   generation : int Atomic.t;
+  mutable compiled : compiled_slot option;
 }
 
 let next_id = Atomic.make 0
@@ -17,7 +25,15 @@ let make ~owner ?acl ?integrity klass =
     | Some acl -> acl
     | None -> Acl.owner_default owner
   in
-  { id = fresh_id (); owner; acl; klass; integrity; generation = Atomic.make 0 }
+  {
+    id = fresh_id ();
+    owner;
+    acl;
+    klass;
+    integrity;
+    generation = Atomic.make 0;
+    compiled = None;
+  }
 
 let copy meta =
   {
@@ -27,6 +43,7 @@ let copy meta =
     klass = meta.klass;
     integrity = meta.integrity;
     generation = Atomic.make 0;
+    compiled = None;
   }
 
 let generation meta = Atomic.get meta.generation
@@ -57,6 +74,27 @@ let set_klass_raw meta klass =
 let set_integrity_raw meta integrity =
   meta.integrity <- integrity;
   touch meta
+
+let compiled_acl meta ~db =
+  (* Both generations are read BEFORE the slot (and, on a miss, before
+     the ACL field): a racing set_acl or membership change then lands
+     a bump above the values validated/stamped here, so a stale slot
+     can never validate again — the same discipline the decision cache
+     follows.  The slot itself is one immutable record behind a single
+     mutable pointer, so concurrent readers see a consistent
+     (compiled, acl_generation) pair; racing writers overwrite each
+     other with equally valid slots. *)
+  let acl_generation = Atomic.get meta.generation in
+  let db_generation = Principal.Db.generation db in
+  match meta.compiled with
+  | Some slot
+    when slot.acl_generation = acl_generation
+         && Acl_compiled.db_generation slot.compiled = db_generation ->
+    slot.compiled
+  | Some _ | None ->
+    let compiled = Acl_compiled.compile ~db meta.acl in
+    meta.compiled <- Some { compiled; acl_generation };
+    compiled
 
 let pp ppf meta =
   Format.fprintf ppf "owner=%a class=%a acl=%a" Principal.pp_individual meta.owner

@@ -5,6 +5,14 @@
     a security class.  The reference monitor consults exactly this
     record; nothing else about an object matters to protection. *)
 
+type compiled_slot = private {
+  compiled : Acl_compiled.t;
+  acl_generation : int;
+}
+(** A compiled form of the object's ACL ({!Acl_compiled}) together
+    with the metadata generation its ACL was read under; managed by
+    {!compiled_acl}, opaque to everyone else. *)
+
 type t = private {
   id : int;  (** unique object identity, assigned at creation; names
                  can be reused (delete + recreate), identities never
@@ -32,6 +40,8 @@ type t = private {
           any derived result under that pre-read value — a concurrent
           mutation then always lands a higher generation than the one
           the stale derivation was filed under. *)
+  mutable compiled : compiled_slot option;
+      (** memoized compiled form of [acl]; see {!compiled_acl} *)
 }
 
 val make :
@@ -58,5 +68,16 @@ val set_integrity_raw : t -> Security_class.t option -> unit
     cannot be forged); normal code mutates through the reference
     monitor's [set_acl]/[set_class].  Each setter publishes
     field-then-generation, per the ordering contract above. *)
+
+val compiled_acl : t -> db:Principal.Db.t -> Acl_compiled.t
+(** The compiled form of the object's current ACL, memoized on the
+    record.  A cached form is reused only while {e both} the metadata
+    generation it was compiled under and the database generation of
+    its snapshot still match the live counters; any [set_*] above or
+    group-membership change forces a recompile.  Generations are read
+    before the slot (and, on a miss, before the ACL field), so a
+    mutation racing with the compile strands the new slot on a stale
+    stamp — it can never validate afterwards.  The validation hit path
+    allocates nothing. *)
 
 val pp : Format.formatter -> t -> unit

@@ -29,10 +29,28 @@ type member =
 module String_set = Set.Make (String)
 
 module Db = struct
+  (* A frozen, generation-stamped view of the database used by the
+     compiled decision path (see Acl_compiled): individuals and groups
+     interned to dense ids, transitive membership flattened into one
+     bitset row per individual.  Snapshots are immutable after
+     construction, so readers in other domains may probe them without
+     a lock; staleness is detected by comparing [snap_generation] with
+     the live generation counter. *)
+  type snapshot = {
+    snap_generation : int;
+    ids : (string, int) Hashtbl.t;  (* individual name -> dense id *)
+    id_count : int;
+    group_ids : (string, int) Hashtbl.t;  (* group name -> dense id *)
+    group_count : int;
+    words_per : int;  (* bitset words per individual row *)
+    bits : int array;  (* id_count * words_per closed-membership words *)
+  }
+
   type t = {
     mutable individual_set : String_set.t;
     members : (group, member list ref) Hashtbl.t;
     generation : int Atomic.t;
+    snapshot_slot : snapshot option Atomic.t;
   }
 
   let create () =
@@ -40,6 +58,7 @@ module Db = struct
       individual_set = String_set.empty;
       members = Hashtbl.create 16;
       generation = Atomic.make 0;
+      snapshot_slot = Atomic.make None;
     }
 
   let generation db = Atomic.get db.generation
@@ -130,4 +149,89 @@ module Db = struct
 
   let groups_of db ind =
     List.filter (fun grp -> is_member db ind grp) (groups db)
+
+  module Snapshot = struct
+    type t = snapshot
+
+    let generation snap = snap.snap_generation
+    let individual_count snap = snap.id_count
+    let group_count snap = snap.group_count
+
+    (* Allocation-free id lookup (raising a constant exception instead
+       of building an option): the decision hot path runs this once
+       per check. *)
+    let individual_id snap ind =
+      try Hashtbl.find snap.ids ind with Not_found -> -1
+
+    let group_id snap grp =
+      try Hashtbl.find snap.group_ids grp with Not_found -> -1
+
+    let is_member snap ~individual_id ~group_id =
+      individual_id >= 0 && individual_id < snap.id_count
+      && group_id >= 0 && group_id < snap.group_count
+      && snap.bits.((individual_id * snap.words_per) + (group_id / Sys.int_size))
+         land (1 lsl (group_id mod Sys.int_size))
+         <> 0
+  end
+
+  let build_snapshot db ~generation =
+    let individuals = String_set.elements db.individual_set in
+    (* Sized at twice the population: the name -> id probe is the one
+       lookup on the compiled decision hot path, and the slack keeps
+       bucket chains short. *)
+    let ids = Hashtbl.create ((2 * List.length individuals) + 1) in
+    List.iteri (fun i ind -> Hashtbl.replace ids ind i) individuals;
+    let id_count = Hashtbl.length ids in
+    let group_list = groups db in
+    let group_ids = Hashtbl.create ((2 * List.length group_list) + 1) in
+    List.iteri (fun i grp -> Hashtbl.replace group_ids grp i) group_list;
+    let group_count = Hashtbl.length group_ids in
+    let words_per = Stdlib.max 1 ((group_count + Sys.int_size - 1) / Sys.int_size) in
+    let bits = Array.make (Stdlib.max 1 (id_count * words_per)) 0 in
+    (* Transitive member closure per group, memoized.  Termination is
+       guaranteed because add_member rejects membership cycles. *)
+    let closures : (group, String_set.t) Hashtbl.t = Hashtbl.create group_count in
+    let rec closure grp =
+      match Hashtbl.find_opt closures grp with
+      | Some set -> set
+      | None ->
+        let set =
+          List.fold_left
+            (fun acc -> function
+              | Ind ind -> String_set.add ind acc
+              | Grp nested -> String_set.union acc (closure nested))
+            String_set.empty (direct_members db grp)
+        in
+        Hashtbl.replace closures grp set;
+        set
+    in
+    List.iteri
+      (fun gid grp ->
+        String_set.iter
+          (fun ind ->
+            match Hashtbl.find_opt ids ind with
+            | None -> ()  (* member added since the individual listing; next generation covers it *)
+            | Some id ->
+              let word = (id * words_per) + (gid / Sys.int_size) in
+              bits.(word) <- bits.(word) lor (1 lsl (gid mod Sys.int_size)))
+          (closure grp))
+      group_list;
+    { snap_generation = generation; ids; id_count; group_ids; group_count; words_per; bits }
+
+  let snapshot db =
+    (* Generation is read BEFORE the membership walk (the standard
+       data-then-generation discipline, see Meta): a mutation racing
+       with the build lands a higher generation than the stamp, so the
+       stale snapshot fails the comparison on its next use and is
+       rebuilt.  Publishing with a plain set is safe — two racing
+       builders both produce correct snapshots for the generation they
+       read, and every compiled ACL holds a reference to the exact
+       snapshot it was compiled against. *)
+    let generation = Atomic.get db.generation in
+    match Atomic.get db.snapshot_slot with
+    | Some snap when snap.snap_generation = generation -> snap
+    | Some _ | None ->
+      let snap = build_snapshot db ~generation in
+      Atomic.set db.snapshot_slot (Some snap);
+      snap
 end

@@ -94,4 +94,45 @@ module Db : sig
 
   val groups_of : t -> individual -> group list
   (** Every group the individual belongs to, transitively; sorted. *)
+
+  (** A frozen, generation-stamped view of the database for the
+      compiled decision path ({!Acl_compiled}): registered individuals
+      and groups interned to dense integer ids, transitive group
+      membership flattened into one closed bitset row per individual.
+      Snapshots are immutable after construction and may be probed
+      from any domain without locking; their probes never allocate. *)
+  module Snapshot : sig
+    type t
+
+    val generation : t -> int
+    (** The database generation the snapshot was built under.  A
+        snapshot (and anything compiled against it) is valid exactly
+        while this equals the live {!Db.generation}. *)
+
+    val individual_count : t -> int
+    (** Interned individuals; ids are dense in [0, individual_count). *)
+
+    val group_count : t -> int
+    (** Interned groups; ids are dense in [0, group_count). *)
+
+    val individual_id : t -> individual -> int
+    (** The individual's dense id, or [-1] when it was not registered
+        at snapshot time.  Never allocates. *)
+
+    val group_id : t -> group -> int
+    (** The group's dense id, or [-1] when unknown at snapshot time. *)
+
+    val is_member : t -> individual_id:int -> group_id:int -> bool
+    (** Transitive membership as of the snapshot: one word load and a
+        bit test.  Out-of-range ids (including [-1]) are members of
+        nothing. *)
+  end
+
+  val snapshot : t -> Snapshot.t
+  (** The current snapshot, rebuilt (and cached) whenever the
+      generation has moved since the last build.  Reads the generation
+      {e before} walking memberships, so a racing mutation leaves the
+      result stamped with the older generation and it is rebuilt on
+      the next call — the same data-then-generation discipline as
+      {!Meta} and the decision cache. *)
 end

@@ -18,13 +18,13 @@ type t = {
   cache : Decision_cache.t option;
 }
 
-let create ?(policy = Policy.default) ?audit_capacity ?(cache = true)
+let create ?(policy = Policy.default) ?audit_capacity ?audit_shards ?(cache = true)
     ?(cache_capacity = 8192) ?cache_shards db =
   {
     db;
     policy;
     policy_epoch = Atomic.make 0;
-    audit = Audit.create ?capacity:audit_capacity ();
+    audit = Audit.create ?capacity:audit_capacity ?shards:audit_shards ();
     cache =
       (if cache then
          Some (Decision_cache.create ?shards:cache_shards ~capacity:cache_capacity ())
@@ -46,11 +46,27 @@ let audit monitor = monitor.audit
 let policy_epoch monitor = Atomic.get monitor.policy_epoch
 let cache_stats monitor = Option.map Decision_cache.stats monitor.cache
 
+(* The discretionary layer runs on the compiled decision path: the
+   object's ACL, compiled to flat mode-mask arrays and cached on its
+   metadata (see Acl_compiled / Meta.compiled_acl), answers in a few
+   bitwise tests with zero allocation.  Only an explicit deny re-runs
+   the interpreted walk, to recover the who diagnostic the compiled
+   form deliberately drops. *)
 let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =
-  match Acl.check ~db:monitor.db ~subject:(Subject.principal subject) ~mode meta.acl with
-  | Acl.Granted _ -> Ok ()
-  | Acl.Denied_by who -> Error (Decision.Dac_explicit_deny who)
-  | Acl.No_entry -> Error Decision.Dac_no_entry
+  let principal = Subject.principal subject in
+  let compiled = Meta.compiled_acl meta ~db:monitor.db in
+  match Acl_compiled.check compiled ~subject:principal ~mode with
+  | Acl_compiled.Granted -> Ok ()
+  | Acl_compiled.No_entry -> Error Decision.Dac_no_entry
+  | Acl_compiled.Denied -> (
+    match Acl.check ~db:monitor.db ~subject:principal ~mode meta.acl with
+    | Acl.Denied_by who -> Error (Decision.Dac_explicit_deny who)
+    | Acl.No_entry -> Error Decision.Dac_no_entry
+    | Acl.Granted _ ->
+      (* Only reachable when a mutation raced between the compiled and
+         interpreted reads; the interpreted walk is the later, more
+         current answer. *)
+      Ok ())
 
 let mac_decide monitor ~subject ~(meta : Meta.t) ~mode =
   (* Trusted subjects (the TCB) are exempt from the [*]-property: they
@@ -78,18 +94,26 @@ let integrity_decide monitor ~subject ~(meta : Meta.t) ~mode =
         | Ok () -> Ok ()
         | Error denial -> Error (Decision.Integrity_denied denial))
 
+(* Written as direct matches rather than a Result.bind chain: the bind
+   closures would allocate on every call, and the grant path through
+   [evaluate] is the allocation-free fast path the compiled-ACL work
+   buys (a regression test holds it to zero minor words). *)
 let evaluate monitor ~subject ~meta ~mode =
-  let ( let* ) = Result.bind in
-  let layers =
-    let* () =
-      if monitor.policy.Policy.dac then dac_decide monitor ~subject ~meta ~mode else Ok ()
-    in
-    let* () =
+  let dac =
+    if monitor.policy.Policy.dac then dac_decide monitor ~subject ~meta ~mode else Ok ()
+  in
+  match dac with
+  | Error denial -> Decision.Denied denial
+  | Ok () -> (
+    let mac =
       if monitor.policy.Policy.mac then mac_decide monitor ~subject ~meta ~mode else Ok ()
     in
-    integrity_decide monitor ~subject ~meta ~mode
-  in
-  Decision.of_result layers
+    match mac with
+    | Error denial -> Decision.Denied denial
+    | Ok () -> (
+      match integrity_decide monitor ~subject ~meta ~mode with
+      | Error denial -> Decision.Denied denial
+      | Ok () -> Decision.Granted))
 
 let decide monitor ~subject ~meta ~mode =
   match monitor.cache with

@@ -16,8 +16,8 @@ exception Access_denied of {
 type t
 
 val create :
-  ?policy:Policy.t -> ?audit_capacity:int -> ?cache:bool -> ?cache_capacity:int ->
-  ?cache_shards:int -> Principal.Db.t -> t
+  ?policy:Policy.t -> ?audit_capacity:int -> ?audit_shards:int -> ?cache:bool ->
+  ?cache_capacity:int -> ?cache_shards:int -> Principal.Db.t -> t
 (** A monitor over the given principal database.  [policy] defaults to
     {!Policy.default}.  [cache] (default [true]) memoizes decisions in
     a bounded {!Decision_cache} of [cache_capacity] (default 8192)
@@ -25,10 +25,18 @@ val create :
     (default: the recognized domain count), invalidated by
     metadata/membership/policy generation counters — see
     {!Decision_cache} for the soundness argument.
+    [audit_capacity]/[audit_shards] size the sharded audit pipeline
+    ({!Audit.create}).
+
+    Discretionary decisions run on the compiled ACL path: each
+    object's ACL is compiled to flat mode-mask arrays over interned
+    principal ids ({!Acl_compiled}), cached on its metadata and
+    invalidated by the same generation counters; the uncached grant
+    path allocates nothing.
 
     The monitor is safe to share across OCaml 5 domains: the decision
-    cache takes one per-shard lock per lookup, the audit ring takes
-    its own mutex per record, and the generation counters are atomic
+    cache takes one per-shard lock per lookup, the audit pipeline one
+    per-shard mutex per record, and the generation counters are atomic
     with a data-then-generation publication order (DESIGN.md,
     "Concurrency model").  Registering {e new} principals or groups in
     the database remains a setup-time operation. *)

@@ -63,8 +63,12 @@ let error_of_denial = function
   | Resolver.Name_error error ->
     Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error)
 
-let boot ?policy ?cache ?cache_capacity ?registry ~db ~admin ~hierarchy ~universe () =
-  let monitor = Reference_monitor.create ?policy ?cache ?cache_capacity db in
+let boot ?policy ?audit_capacity ?audit_shards ?cache ?cache_capacity ?registry ~db
+    ~admin ~hierarchy ~universe () =
+  let monitor =
+    Reference_monitor.create ?policy ?audit_capacity ?audit_shards ?cache
+      ?cache_capacity db
+  in
   let bottom = Security_class.bottom hierarchy universe in
   let dir_acl =
     Acl.of_entries [ Acl.allow_all (Acl.Individual admin); Acl.allow Acl.Everyone [ Access_mode.List ] ]

@@ -29,6 +29,8 @@ type t
 
 val boot :
   ?policy:Policy.t ->
+  ?audit_capacity:int ->
+  ?audit_shards:int ->
   ?cache:bool ->
   ?cache_capacity:int ->
   ?registry:Clearance.t ->
@@ -40,12 +42,14 @@ val boot :
   t
 (** Create a kernel.  [admin] owns the root of the name space and the
     standard directories; every principal can traverse ([List]) them.
-    [cache]/[cache_capacity] are passed to
-    {!Reference_monitor.create}: the decision cache is on by default
-    and can be disabled (or resized) for ablation.  [registry] is the
-    deployment's clearance registry; supplying it lets the linker
-    issue link-time certificates ({!Exsec_analysis.Certificate}) so
-    fully proved extensions skip per-call monitor work. *)
+    [audit_capacity]/[audit_shards] and [cache]/[cache_capacity] are
+    passed to {!Reference_monitor.create}: the decision cache is on by
+    default and can be disabled (or resized) for ablation, and the
+    audit pipeline's sharding can be pinned for contention studies
+    (bench a8).  [registry] is the deployment's clearance registry;
+    supplying it lets the linker issue link-time certificates
+    ({!Exsec_analysis.Certificate}) so fully proved extensions skip
+    per-call monitor work. *)
 
 val monitor : t -> Reference_monitor.t
 

@@ -1,0 +1,321 @@
+(* The compiled ACL decision path: differential equivalence with the
+   interpreted walk, corner cases of the interning/extras scheme, and
+   the allocation-free guarantee the hot path advertises. *)
+
+open Exsec_core
+
+let check = Alcotest.(check bool)
+
+let std () =
+  let hierarchy = Level.hierarchy [ "high"; "low" ] in
+  let universe = Category.universe [ "a" ] in
+  hierarchy, universe
+
+let bottom () =
+  let hierarchy, universe = std () in
+  Security_class.make (Level.of_name_exn hierarchy "low") (Category.of_names universe [])
+
+(* Fixed pools: five registered individuals, two never registered,
+   four groups.  Every generator below draws from these by index so
+   the shrinker stays meaningful. *)
+let ind_names = [| "alice"; "bob"; "carol"; "dave"; "erin" |]
+let unreg_names = [| "ghost"; "phantom" |]
+let grp_names = [| "staff"; "eng"; "ops"; "root" |]
+
+let build_world memberships =
+  let db = Principal.Db.create () in
+  let inds = Array.map Principal.individual ind_names in
+  let grps = Array.map Principal.group grp_names in
+  Array.iter (Principal.Db.add_individual db) inds;
+  Array.iter (Principal.Db.add_group db) grps;
+  List.iter
+    (fun (g, m) ->
+      let group = grps.(g mod Array.length grps) in
+      let member =
+        let n = m mod (Array.length inds + Array.length grps) in
+        if n < Array.length inds then Principal.Ind inds.(n)
+        else Principal.Grp grps.(n - Array.length inds)
+      in
+      (* Cycle-creating nestings are rejected; skipping them keeps the
+         generator total while still producing 2-level groups. *)
+      try Principal.Db.add_member db group member with Invalid_argument _ -> ())
+    memberships;
+  db, inds, grps
+
+let who_of inds grps w =
+  match w mod 12 with
+  | 0 -> Acl.Everyone
+  | (1 | 2 | 3 | 4 | 5) as i -> Acl.Individual inds.(i - 1)
+  | (6 | 7) as i -> Acl.Individual (Principal.individual unreg_names.(i - 6))
+  | g -> Acl.Group grps.(g - 8)
+
+let acl_of_spec inds grps spec =
+  Acl.of_entries
+    (List.map
+       (fun (w, positive, modes) ->
+         (if positive then Acl.allow else Acl.deny) (who_of inds grps w) modes)
+       spec)
+
+let all_subjects inds =
+  Array.to_list inds @ Array.to_list (Array.map Principal.individual unreg_names)
+
+let interp_class = function
+  | Acl.Granted _ -> 0
+  | Acl.Denied_by _ -> 1
+  | Acl.No_entry -> 2
+
+(* One agreement sweep: every subject x every mode, compiled against
+   interpreted.  56 probes per call. *)
+let agree ~db ~acl ~compiled ~probes inds =
+  List.for_all
+    (fun subject ->
+      List.for_all
+        (fun mode ->
+          incr probes;
+          Acl_compiled.verdict_class (Acl_compiled.check compiled ~subject ~mode)
+          = interp_class (Acl.check ~db ~subject ~mode acl))
+        Access_mode.all)
+    (all_subjects inds)
+
+let probes_total = ref 0
+
+let arb_mode = QCheck.oneofl Access_mode.all
+
+let prop_differential =
+  (* The tentpole contract: the compiled path and the interpreted walk
+     agree on the verdict class for every (acl, group db, subject,
+     mode) — including across membership and ACL mutation, which must
+     invalidate the form memoized on the metadata.  At >= 56 probes
+     per phase and >= 2 phases per case, 150 cases put well over 10k
+     randomized probes through the comparison (asserted below). *)
+  QCheck.Test.make ~name:"compiled = interpreted, across mutation" ~count:150
+    QCheck.(
+      triple
+        (small_list (pair small_nat small_nat)) (* group memberships *)
+        (small_list (triple small_nat bool (small_list arb_mode))) (* ACL entries *)
+        (small_list (triple small_nat small_nat bool)) (* membership mutations *))
+    (fun (memberships, entry_spec, mutations) ->
+      let db, inds, grps = build_world memberships in
+      let acl = acl_of_spec inds grps entry_spec in
+      let meta = Meta.make ~owner:inds.(0) ~acl (bottom ()) in
+      let probes = probes_total in
+      let ok = ref true in
+      let sweep () =
+        let compiled = Meta.compiled_acl meta ~db in
+        if not (agree ~db ~acl:meta.Meta.acl ~compiled ~probes inds) then ok := false
+      in
+      (* Phase 1: the freshly compiled form. *)
+      sweep ();
+      (* A clean re-read must reuse the memoized form, not recompile. *)
+      if not (Meta.compiled_acl meta ~db == Meta.compiled_acl meta ~db) then ok := false;
+      (* Phase 2: membership churn mid-stream; every mutation that
+         lands bumps the db generation and must force a recompile. *)
+      List.iter
+        (fun (g, m, add) ->
+          let group = grps.(g mod Array.length grps) in
+          let member = Principal.Ind inds.(m mod Array.length inds) in
+          (try
+             if add then Principal.Db.add_member db group member
+             else Principal.Db.remove_member db group member
+           with Invalid_argument _ -> ());
+          sweep ())
+        mutations;
+      (* Phase 3: replace the ACL under the object; the meta
+         generation bump must invalidate the memoized form. *)
+      Meta.set_acl_raw meta
+        (Acl.add (Acl.deny (Acl.Individual inds.(1)) [ Access_mode.Read ]) acl);
+      sweep ();
+      !ok)
+
+let test_probe_volume () =
+  (* Run after the QCheck case by suite order; the differential sweep
+     must have covered the mandated >= 10k probes. *)
+  check "over 10k differential probes" true (!probes_total >= 10_000)
+
+(* {1 Corner cases} *)
+
+let fixture () =
+  let db = Principal.Db.create () in
+  let alice = Principal.individual "alice" in
+  let bob = Principal.individual "bob" in
+  let mallory = Principal.individual "mallory" in
+  let staff = Principal.group "staff" in
+  let inner = Principal.group "inner" in
+  List.iter (Principal.Db.add_individual db) [ alice; bob; mallory ];
+  Principal.Db.add_member db inner (Principal.Ind alice);
+  Principal.Db.add_member db staff (Principal.Grp inner);
+  Principal.Db.add_member db staff (Principal.Ind bob);
+  db, alice, bob, mallory, staff, inner
+
+let classify db acl subject mode =
+  let compiled = Acl_compiled.compile ~db acl in
+  Acl_compiled.verdict_class (Acl_compiled.check compiled ~subject ~mode)
+
+let test_tier_precedence () =
+  let db, alice, bob, mallory, staff, _ = fixture () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow Acl.Everyone [ Access_mode.Read ];
+        Acl.deny (Acl.Group staff) [ Access_mode.Read ];
+        Acl.allow (Acl.Individual alice) [ Access_mode.Read ];
+      ]
+  in
+  (* alice: individual allow beats the group deny (via nested inner). *)
+  check "individual beats group" true (classify db acl alice Access_mode.Read = 0);
+  (* bob: staff deny beats the everyone allow. *)
+  check "group beats everyone" true (classify db acl bob Access_mode.Read = 1);
+  (* mallory: no staff membership, everyone tier grants. *)
+  check "everyone grants outsider" true (classify db acl mallory Access_mode.Read = 0)
+
+let test_deny_beats_allow_in_tier () =
+  let db, alice, _, _, _, _ = fixture () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Individual alice) [ Access_mode.Write ];
+        Acl.deny (Acl.Individual alice) [ Access_mode.Write ];
+      ]
+  in
+  check "deny wins" true (classify db acl alice Access_mode.Write = 1)
+
+let test_unregistered_subject_and_extras () =
+  let db, alice, _, _, staff, _ = fixture () in
+  let ghost = Principal.individual "ghost" in
+  (* ghost is never registered: the entry lands in the extras table
+     and must still decide, allow and deny alike. *)
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Individual ghost) [ Access_mode.Read ];
+        Acl.deny (Acl.Individual ghost) [ Access_mode.Write ];
+        Acl.allow (Acl.Group staff) [ Access_mode.Execute ];
+      ]
+  in
+  check "extras allow" true (classify db acl ghost Access_mode.Read = 0);
+  check "extras deny" true (classify db acl ghost Access_mode.Write = 1);
+  (* An unregistered subject is in no group: the staff grant must not
+     leak to ghost, while alice gets it through the nested chain. *)
+  check "no group leak to unregistered" true (classify db acl ghost Access_mode.Execute = 2);
+  check "nested group grant" true (classify db acl alice Access_mode.Execute = 0)
+
+let test_unregistered_group_compiles_away () =
+  let db, alice, _, _, _, _ = fixture () in
+  let phantom = Principal.group "phantoms" in
+  let acl = Acl.of_entries [ Acl.allow (Acl.Group phantom) [ Access_mode.Read ] ] in
+  (* A group unknown to the database has no members; the entry decides
+     for nobody — same as the interpreted walk. *)
+  check "compiled" true (classify db acl alice Access_mode.Read = 2);
+  check "interpreted agrees" true
+    (interp_class (Acl.check ~db ~subject:alice ~mode:Access_mode.Read acl) = 2)
+
+let test_memoization_and_invalidation () =
+  let db, alice, bob, _, staff, _ = fixture () in
+  let acl = Acl.of_entries [ Acl.allow (Acl.Group staff) [ Access_mode.Read ] ] in
+  let meta = Meta.make ~owner:alice ~acl (bottom ()) in
+  let c0 = Meta.compiled_acl meta ~db in
+  check "clean reuse is physical" true (c0 == Meta.compiled_acl meta ~db);
+  (* Membership change: db generation moves, form must recompile and
+     reflect the new membership. *)
+  Principal.Db.remove_member db staff (Principal.Ind bob);
+  let c1 = Meta.compiled_acl meta ~db in
+  check "db bump recompiles" true (not (c0 == c1));
+  check "new membership visible" true
+    (Acl_compiled.verdict_class (Acl_compiled.check c1 ~subject:bob ~mode:Access_mode.Read)
+     = 2);
+  (* ACL change: meta generation moves. *)
+  Meta.set_acl_raw meta Acl.empty;
+  let c2 = Meta.compiled_acl meta ~db in
+  check "acl bump recompiles" true (not (c1 == c2));
+  check "empty acl decides nothing" true
+    (Acl_compiled.verdict_class (Acl_compiled.check c2 ~subject:alice ~mode:Access_mode.Read)
+     = 2)
+
+let test_snapshot_validity () =
+  let db, alice, _, _, staff, _ = fixture () in
+  let snap = Principal.Db.snapshot db in
+  check "stamped with live generation" true
+    (Principal.Db.Snapshot.generation snap = Principal.Db.generation db);
+  check "membership via snapshot" true
+    (Principal.Db.Snapshot.is_member snap
+       ~individual_id:(Principal.Db.Snapshot.individual_id snap alice)
+       ~group_id:(Principal.Db.Snapshot.group_id snap staff));
+  check "out of range is nobody" false
+    (Principal.Db.Snapshot.is_member snap ~individual_id:(-1)
+       ~group_id:(Principal.Db.Snapshot.group_id snap staff));
+  Principal.Db.add_member db staff (Principal.Ind (Principal.individual "mallory"));
+  check "stale after membership change" true
+    (Principal.Db.Snapshot.generation snap <> Principal.Db.generation db);
+  let snap' = Principal.Db.snapshot db in
+  check "rebuilt snapshot current" true
+    (Principal.Db.Snapshot.generation snap' = Principal.Db.generation db)
+
+(* {1 Allocation regression}
+
+   The boxes [Gc.minor_words] itself allocates are identical between
+   the empty baseline and the measured run, so equality of the two
+   deltas means the measured loop allocated exactly zero words. *)
+
+let minor_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  let after = Gc.minor_words () in
+  after -. before
+
+let test_check_allocates_nothing () =
+  let db, alice, _, _, staff, _ = fixture () in
+  let acl =
+    Acl.of_entries
+      [
+        Acl.allow (Acl.Group staff) [ Access_mode.Read; Access_mode.Execute ];
+        Acl.deny (Acl.Individual (Principal.individual "ghost")) [ Access_mode.Write ];
+        Acl.allow Acl.Everyone [ Access_mode.List ];
+      ]
+  in
+  let compiled = Acl_compiled.compile ~db acl in
+  let run () =
+    for _ = 1 to 10_000 do
+      ignore (Acl_compiled.check compiled ~subject:alice ~mode:Access_mode.Read)
+    done
+  in
+  run ();
+  let baseline = minor_delta (fun () -> ()) in
+  let measured = minor_delta run in
+  Alcotest.(check (float 0.)) "grant path words" baseline measured
+
+let test_decide_allocates_nothing () =
+  (* End to end through the monitor: uncached, DAC only (the MAC and
+     integrity layers are off, and the decision cache would allocate
+     its lookup key).  The compiled grant path must hold the whole
+     [decide] call to zero words. *)
+  let db, alice, _, _, staff, _ = fixture () in
+  let monitor = Reference_monitor.create ~policy:Policy.dac_only ~cache:false db in
+  let acl = Acl.of_entries [ Acl.allow (Acl.Group staff) [ Access_mode.Read ] ] in
+  let meta = Meta.make ~owner:alice ~acl (bottom ()) in
+  let subject = Subject.make alice (bottom ()) in
+  let run () =
+    for _ = 1 to 10_000 do
+      ignore (Reference_monitor.decide monitor ~subject ~meta ~mode:Access_mode.Read)
+    done
+  in
+  run ();
+  let baseline = minor_delta (fun () -> ()) in
+  let measured = minor_delta run in
+  Alcotest.(check (float 0.)) "decide grant words" baseline measured
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_differential;
+    Alcotest.test_case "differential probe volume" `Quick test_probe_volume;
+    Alcotest.test_case "tier precedence" `Quick test_tier_precedence;
+    Alcotest.test_case "deny beats allow in tier" `Quick test_deny_beats_allow_in_tier;
+    Alcotest.test_case "unregistered subject and extras" `Quick
+      test_unregistered_subject_and_extras;
+    Alcotest.test_case "unregistered group compiles away" `Quick
+      test_unregistered_group_compiles_away;
+    Alcotest.test_case "memoization and invalidation" `Quick
+      test_memoization_and_invalidation;
+    Alcotest.test_case "snapshot validity" `Quick test_snapshot_validity;
+    Alcotest.test_case "check allocates nothing" `Quick test_check_allocates_nothing;
+    Alcotest.test_case "decide allocates nothing" `Quick test_decide_allocates_nothing;
+  ]
