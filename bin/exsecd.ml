@@ -438,6 +438,56 @@ let analyze_cmd =
           non-zero when any error-severity finding is reported.")
     Term.(const run $ file $ json $ severity $ dac_only $ mac_only $ liberal)
 
+(* {1 metrics: the observability registry over a live workload} *)
+
+let metrics_cmd =
+  let module Metrics = Exsec_obs.Metrics in
+  let module Trace = Exsec_obs.Trace in
+  let run json trace rounds =
+    (* The registry boots disabled (the noop mode the kernel pays for
+       by default); collection is on only for the lifetime of this
+       command's workload. *)
+    Metrics.set_enabled true;
+    if trace then Trace.set_enabled true;
+    let scenario = Scenario.build () in
+    for _round = 1 to Stdlib.max 1 rounds do
+      List.iter
+        (fun (name, _) ->
+          List.iter
+            (fun file ->
+              ignore (Scenario.measured_read scenario ~subject_name:name ~file))
+            Scenario.files)
+        (Scenario.subjects scenario)
+    done;
+    let snap = Metrics.snapshot () in
+    if json then print_endline (Metrics.snapshot_to_json snap)
+    else begin
+      Format.printf "%a@." Metrics.pp_snapshot snap;
+      if trace then begin
+        Format.printf "@.recent call spans:@.";
+        List.iter
+          (fun span -> print_endline ("  " ^ Trace.span_to_line span))
+          (Trace.tail ())
+      end
+    end;
+    0
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Also collect and print recent call spans.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N" ~doc:"Repetitions of the scenario access matrix.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the paper's scenario with collection enabled and print the kernel-wide \
+          metrics registry: call/decision/cache/audit counters and latency percentiles")
+    Term.(const run $ json $ trace $ rounds)
+
 (* {1 attacks: three-prong fault injection} *)
 
 let attacks_cmd =
@@ -476,6 +526,9 @@ let main_cmd =
   let doc = "security for extensible systems: the HotOS'97 model, runnable" in
   Cmd.group
     (Cmd.info "exsecd" ~version:"1.0.0" ~doc)
-    [ scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd; analyze_cmd ]
+    [
+      scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd;
+      analyze_cmd; metrics_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,3 +1,8 @@
+module Metrics = Exsec_obs.Metrics
+
+let m_records = Metrics.counter "audit.records"
+let m_record_ns = Metrics.histogram ~sample_shift:4 "audit.record_ns"
+
 type event = {
   seq : int;
   subject : Subject.t;
@@ -65,6 +70,8 @@ let shard_of log ~subject =
   (key * 0x9e3779b1) lsr 16 mod Array.length log.shards
 
 let record log ~subject ~object_name ~object_id ~object_class ~mode decision =
+  Metrics.incr m_records;
+  let t0 = Metrics.start_timing m_record_ns in
   (* The sequence stamp and the event record are built before any lock
      is taken; the critical section is exactly the ring slot and
      counter writes. *)
@@ -75,7 +82,8 @@ let record log ~subject ~object_name ~object_id ~object_class ~mode decision =
       shard.ring.(shard.cursor mod log.capacity) <- Some event;
       shard.cursor <- shard.cursor + 1;
       if Decision.is_granted decision then shard.granted <- shard.granted + 1
-      else shard.denied <- shard.denied + 1)
+      else shard.denied <- shard.denied + 1);
+  Metrics.stop_timing m_record_ns t0
 
 let events log =
   (* Gather each shard's retained events under its own lock, then
@@ -94,6 +102,39 @@ let events log =
       [] log.shards
   in
   List.sort (fun a b -> Int.compare a.seq b.seq) collected
+
+(* [tail ~count] gathers at most [count] events per shard — each
+   shard's newest are its last, so nothing older than a shard's own
+   newest [count] can survive the global merge — then merges and trims
+   once.  Unlike [events] followed by a list walk, the work is
+   O(shards * count) after the per-shard scans, independent of total
+   retention. *)
+let tail log ~count =
+  let count = Stdlib.max 0 count in
+  if count = 0 then []
+  else begin
+    let collected =
+      Array.fold_left
+        (fun acc shard ->
+          Mutex.protect shard.lock (fun () ->
+              let lo =
+                Stdlib.max (shard.cursor - count)
+                  (Stdlib.max 0 (shard.cursor - log.capacity))
+              in
+              let out = ref acc in
+              for i = shard.cursor - 1 downto lo do
+                match shard.ring.(i mod log.capacity) with
+                | Some event -> out := event :: !out
+                | None -> ()
+              done;
+              !out))
+        [] log.shards
+    in
+    let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) collected in
+    let surplus = List.length sorted - count in
+    if surplus <= 0 then sorted
+    else List.filteri (fun i _ -> i >= surplus) sorted
+  end
 
 let fold_shards log init f =
   Array.fold_left

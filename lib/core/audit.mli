@@ -55,6 +55,12 @@ val events : t -> event list
 (** Retained events merged across shards on the global sequence
     number, oldest first. *)
 
+val tail : t -> count:int -> event list
+(** The newest [count] retained events, oldest first — equal to the
+    last [count] elements of {!events} but gathering only [count]
+    events per shard before the merge, so the cost is independent of
+    total retention.  Negative counts are treated as 0. *)
+
 val granted_total : t -> int
 val denied_total : t -> int
 val total : t -> int

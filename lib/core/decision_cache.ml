@@ -1,3 +1,14 @@
+module Metrics = Exsec_obs.Metrics
+
+(* Kernel-wide mirrors of the per-shard stats below: the shard fields
+   stay authoritative for [stats] (exact, read under the shard locks),
+   while these feed the global metrics snapshot without extra
+   locking. *)
+let m_hits = Metrics.counter "cache.hits"
+let m_misses = Metrics.counter "cache.misses"
+let m_evictions = Metrics.counter "cache.evictions"
+let m_invalidations = Metrics.counter "cache.invalidations"
+
 type stats = {
   hits : int;
   misses : int;
@@ -165,6 +176,7 @@ let flush cache =
     (fun shard ->
       Mutex.protect shard.lock (fun () ->
           shard.invalidations <- shard.invalidations + Table.length shard.table;
+          Metrics.add m_invalidations (Table.length shard.table);
           Table.reset shard.table;
           Queue.clear shard.order;
           shard.stale_pairs <- 0))
@@ -181,7 +193,8 @@ let rec evict_one cache shard =
     match Table.find_opt shard.table key with
     | Some entry when entry.stamp = stamp ->
       Table.remove shard.table key;
-      shard.evictions <- shard.evictions + 1
+      shard.evictions <- shard.evictions + 1;
+      Metrics.incr m_evictions
     | Some _ | None ->
       shard.stale_pairs <- shard.stale_pairs - 1;
       evict_one cache shard)
@@ -225,6 +238,7 @@ let memoize cache ~subject ~(meta : Meta.t) ~mode ~db_generation ~policy_generat
   Mutex.protect shard.lock (fun () ->
       let miss () =
         shard.misses <- shard.misses + 1;
+        Metrics.incr m_misses;
         let decision = compute () in
         add cache shard key ~meta_generation ~db_generation ~policy_generation decision;
         decision
@@ -238,6 +252,7 @@ let memoize cache ~subject ~(meta : Meta.t) ~mode ~db_generation ~policy_generat
           && entry.policy_generation = policy_generation
         then begin
           shard.hits <- shard.hits + 1;
+          Metrics.incr m_hits;
           entry.decision
         end
         else begin
@@ -246,6 +261,7 @@ let memoize cache ~subject ~(meta : Meta.t) ~mode ~db_generation ~policy_generat
              pair stays behind and is counted stale. *)
           Table.remove shard.table key;
           shard.invalidations <- shard.invalidations + 1;
+          Metrics.incr m_invalidations;
           shard.stale_pairs <- shard.stale_pairs + 1;
           compact cache shard;
           miss ()

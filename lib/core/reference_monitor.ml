@@ -1,3 +1,20 @@
+module Metrics = Exsec_obs.Metrics
+module Trace = Exsec_obs.Trace
+
+(* Decision-layer instruments.  Counters cost one gated atomic add;
+   the decide histogram samples 1 of 16 decisions because two clock
+   reads would dominate the sub-microsecond cached path (see the
+   overhead discipline in DESIGN.md, "Observability").  All are inert
+   until [Metrics.set_enabled true]. *)
+let m_decisions = Metrics.counter "monitor.decisions"
+let m_granted = Metrics.counter "monitor.granted"
+let m_denied = Metrics.counter "monitor.denied"
+let m_dac_compiled = Metrics.counter "monitor.dac_compiled"
+let m_dac_interpreted = Metrics.counter "monitor.dac_interpreted"
+let m_mac_granted = Metrics.counter "monitor.mac_granted"
+let m_mac_denied = Metrics.counter "monitor.mac_denied"
+let m_decide_ns = Metrics.histogram ~sample_shift:4 "monitor.decide_ns"
+
 exception Access_denied of {
   object_name : string;
   mode : Access_mode.t;
@@ -52,13 +69,21 @@ let cache_stats monitor = Option.map Decision_cache.stats monitor.cache
    bitwise tests with zero allocation.  Only an explicit deny re-runs
    the interpreted walk, to recover the who diagnostic the compiled
    form deliberately drops. *)
-let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =
+let dac_decide monitor ~span ~subject ~(meta : Meta.t) ~mode =
   let principal = Subject.principal subject in
   let compiled = Meta.compiled_acl meta ~db:monitor.db in
   match Acl_compiled.check compiled ~subject:principal ~mode with
-  | Acl_compiled.Granted -> Ok ()
-  | Acl_compiled.No_entry -> Error Decision.Dac_no_entry
+  | Acl_compiled.Granted ->
+    Metrics.incr m_dac_compiled;
+    if Trace.active span then Trace.annotate span "dac" "compiled";
+    Ok ()
+  | Acl_compiled.No_entry ->
+    Metrics.incr m_dac_compiled;
+    if Trace.active span then Trace.annotate span "dac" "compiled";
+    Error Decision.Dac_no_entry
   | Acl_compiled.Denied -> (
+    Metrics.incr m_dac_interpreted;
+    if Trace.active span then Trace.annotate span "dac" "interpreted";
     match Acl.check ~db:monitor.db ~subject:principal ~mode meta.acl with
     | Acl.Denied_by who -> Error (Decision.Dac_explicit_deny who)
     | Acl.No_entry -> Error Decision.Dac_no_entry
@@ -68,17 +93,27 @@ let dac_decide monitor ~subject ~(meta : Meta.t) ~mode =
          current answer. *)
       Ok ())
 
-let mac_decide monitor ~subject ~(meta : Meta.t) ~mode =
+let mac_decide monitor ~span ~subject ~(meta : Meta.t) ~mode =
   (* Trusted subjects (the TCB) are exempt from the [*]-property: they
      may write down.  Read rules still apply. *)
-  if Subject.is_trusted subject && Access_mode.is_write_like mode then Ok ()
+  if Subject.is_trusted subject && Access_mode.is_write_like mode then begin
+    Metrics.incr m_mac_granted;
+    if Trace.active span then Trace.annotate span "mac" "granted";
+    Ok ()
+  end
   else
     match
       Mac.check ~rule:monitor.policy.Policy.overwrite
         ~subject:(Subject.effective_class subject) ~object_:meta.klass mode
     with
-    | Ok () -> Ok ()
-    | Error denial -> Error (Decision.Mac_denied denial)
+    | Ok () ->
+      Metrics.incr m_mac_granted;
+      if Trace.active span then Trace.annotate span "mac" "granted";
+      Ok ()
+    | Error denial ->
+      Metrics.incr m_mac_denied;
+      if Trace.active span then Trace.annotate span "mac" "denied";
+      Error (Decision.Mac_denied denial)
 
 (* Biba rules apply only when both sides carry integrity labels; the
    TCB exemption mirrors the MAC one. *)
@@ -98,15 +133,17 @@ let integrity_decide monitor ~subject ~(meta : Meta.t) ~mode =
    closures would allocate on every call, and the grant path through
    [evaluate] is the allocation-free fast path the compiled-ACL work
    buys (a regression test holds it to zero minor words). *)
-let evaluate monitor ~subject ~meta ~mode =
+let evaluate monitor ~span ~subject ~meta ~mode =
   let dac =
-    if monitor.policy.Policy.dac then dac_decide monitor ~subject ~meta ~mode else Ok ()
+    if monitor.policy.Policy.dac then dac_decide monitor ~span ~subject ~meta ~mode
+    else Ok ()
   in
   match dac with
   | Error denial -> Decision.Denied denial
   | Ok () -> (
     let mac =
-      if monitor.policy.Policy.mac then mac_decide monitor ~subject ~meta ~mode else Ok ()
+      if monitor.policy.Policy.mac then mac_decide monitor ~span ~subject ~meta ~mode
+      else Ok ()
     in
     match mac with
     | Error denial -> Decision.Denied denial
@@ -115,20 +152,49 @@ let evaluate monitor ~subject ~meta ~mode =
       | Error denial -> Decision.Denied denial
       | Ok () -> Decision.Granted))
 
-let decide monitor ~subject ~meta ~mode =
-  match monitor.cache with
-  | None -> evaluate monitor ~subject ~meta ~mode
-  | Some cache ->
-    (* Both global generations are read before the evaluation (the
-       meta generation is read inside [memoize], likewise before);
-       see the ordering argument in Decision_cache. *)
-    let db_generation = Principal.Db.generation monitor.db in
-    let policy_generation = Atomic.get monitor.policy_epoch in
-    Decision_cache.memoize cache ~subject ~meta ~mode ~db_generation ~policy_generation
-      (fun () -> evaluate monitor ~subject ~meta ~mode)
+let decide ?(span = Trace.none) monitor ~subject ~meta ~mode =
+  Metrics.incr m_decisions;
+  let t0 = Metrics.start_timing m_decide_ns in
+  let decision =
+    match monitor.cache with
+    | None -> evaluate monitor ~span ~subject ~meta ~mode
+    | Some cache ->
+      (* Both global generations are read before the evaluation (the
+         meta generation is read inside [memoize], likewise before);
+         see the ordering argument in Decision_cache. *)
+      let db_generation = Principal.Db.generation monitor.db in
+      let policy_generation = Atomic.get monitor.policy_epoch in
+      if Trace.active span then begin
+        (* A hit skips [evaluate], so the compute closure is the only
+           witness of a miss; the closure allocates regardless, so the
+           flag costs nothing the traced path was not already paying. *)
+        let missed = ref false in
+        let decision =
+          Decision_cache.memoize cache ~subject ~meta ~mode ~db_generation
+            ~policy_generation (fun () ->
+              missed := true;
+              evaluate monitor ~span ~subject ~meta ~mode)
+        in
+        Trace.annotate span "cache" (if !missed then "miss" else "hit");
+        decision
+      end
+      else
+        Decision_cache.memoize cache ~subject ~meta ~mode ~db_generation
+          ~policy_generation (fun () -> evaluate monitor ~span ~subject ~meta ~mode)
+  in
+  Metrics.stop_timing m_decide_ns t0;
+  (match decision with
+  | Decision.Granted -> Metrics.incr m_granted
+  | Decision.Denied _ -> Metrics.incr m_denied);
+  if Trace.active span then
+    Trace.annotate span "decision"
+      (match decision with
+      | Decision.Granted -> "granted"
+      | Decision.Denied _ -> "denied");
+  decision
 
-let check monitor ~subject ~(meta : Meta.t) ~object_name ~mode =
-  let decision = decide monitor ~subject ~meta ~mode in
+let check ?span monitor ~subject ~(meta : Meta.t) ~object_name ~mode =
+  let decision = decide ?span monitor ~subject ~meta ~mode in
   Audit.record monitor.audit ~subject ~object_name ~object_id:meta.Meta.id
     ~object_class:meta.klass ~mode decision;
   decision
@@ -159,7 +225,7 @@ let set_class monitor ~subject ~meta ~object_name klass =
 let check_attach monitor ~subject ~parent ~child ~object_name =
   let dac_result =
     if monitor.policy.Policy.dac then
-      dac_decide monitor ~subject ~meta:parent ~mode:Access_mode.Write
+      dac_decide monitor ~span:Trace.none ~subject ~meta:parent ~mode:Access_mode.Write
     else Ok ()
   in
   let decision =

@@ -66,14 +66,24 @@ val cache_stats : t -> Decision_cache.stats option
     [~cache:false]. *)
 
 val decide :
+  ?span:Exsec_obs.Trace.handle ->
   t -> subject:Subject.t -> meta:Meta.t -> mode:Access_mode.t -> Decision.t
 (** Decision without an audit record: DAC then MAC.  The subject's
     {e effective} class (clearance capped by any static extension
     class) is used for the MAC rules.  Answered from the decision
     cache when a validated entry exists; observationally identical to
-    the uncached evaluation. *)
+    the uncached evaluation.
+
+    Feeds the [monitor.*] metrics (decision/grant/deny counters, the
+    compiled-vs-interpreted DAC split, MAC verdicts, and a sampled
+    latency histogram); all of it noop until
+    [Exsec_obs.Metrics.set_enabled true].  When [span] carries an
+    active trace span, the decision annotates it with
+    [cache=hit|miss], [dac=compiled|interpreted], [mac] and the final
+    verdict. *)
 
 val check :
+  ?span:Exsec_obs.Trace.handle ->
   t ->
   subject:Subject.t ->
   meta:Meta.t ->

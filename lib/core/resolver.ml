@@ -1,3 +1,11 @@
+module Metrics = Exsec_obs.Metrics
+module Trace = Exsec_obs.Trace
+
+let m_resolves = Metrics.counter "resolver.resolves"
+let m_denials = Metrics.counter "resolver.denials"
+let m_name_errors = Metrics.counter "resolver.name_errors"
+let m_resolve_ns = Metrics.histogram "resolver.resolve_ns"
+
 type 'a t = {
   monitor : Reference_monitor.t;
   namespace : 'a Namespace.t;
@@ -17,9 +25,9 @@ let pp_denial ppf = function
       denial
   | Name_error error -> Namespace.pp_error ppf error
 
-let check r ~subject node mode =
+let check ?span r ~subject node mode =
   match
-    Reference_monitor.check r.monitor ~subject ~meta:(Namespace.meta node)
+    Reference_monitor.check ?span r.monitor ~subject ~meta:(Namespace.meta node)
       ~object_name:(Namespace.label node) ~mode
   with
   | Decision.Granted -> Ok ()
@@ -28,11 +36,11 @@ let check r ~subject node mode =
 
 (* Walk to [target], checking [List] on every *interior* node strictly
    above the target.  Returns the target node, unchecked. *)
-let walk r ~subject target =
+let walk ?span r ~subject target =
   let rec step node = function
     | [] -> Ok node
     | segment :: rest -> (
-      match check r ~subject node Access_mode.List with
+      match check ?span r ~subject node Access_mode.List with
       | Error e -> Error e
       | Ok () -> (
         let found =
@@ -50,13 +58,37 @@ let walk r ~subject target =
 
 let lookup r ~subject target = walk r ~subject target
 
-let resolve r ~subject ~mode target =
-  match walk r ~subject target with
-  | Error e -> Error e
-  | Ok node -> (
-    match check r ~subject node mode with
+(* Bump the outcome counters shared by [resolve] and [remove]. *)
+let observe_outcome result =
+  match result with
+  | Ok _ -> ()
+  | Error (Denied _) -> Metrics.incr m_denials
+  | Error (Name_error _) -> Metrics.incr m_name_errors
+
+let resolve ?(span = Trace.none) r ~subject ~mode target =
+  Metrics.incr m_resolves;
+  let t0 = Metrics.start_timing m_resolve_ns in
+  (* When no enclosing span was handed down (a direct resolution, not
+     one inside [Kernel.call]), this resolution is itself the
+     top-level traced operation. *)
+  let owned = (not (Trace.active span)) && Trace.enabled () in
+  let span = if owned then Trace.start "resolver.resolve" else span in
+  if owned && Trace.active span then begin
+    Trace.annotate span "path" (Path.to_string target);
+    Trace.annotate span "mode" (Format.asprintf "%a" Access_mode.pp mode)
+  end;
+  let result =
+    match walk ~span r ~subject target with
     | Error e -> Error e
-    | Ok () -> Ok node)
+    | Ok node -> (
+      match check ~span r ~subject node mode with
+      | Error e -> Error e
+      | Ok () -> Ok node)
+  in
+  if owned then Trace.finish span;
+  Metrics.stop_timing m_resolve_ns t0;
+  observe_outcome result;
+  result
 
 let list_dir r ~subject target =
   match resolve r ~subject ~mode:Access_mode.List target with
@@ -102,25 +134,55 @@ let create_leaf r ~subject target ~meta payload =
   create_node r ~subject target ~meta (fun () ->
       Namespace.add_leaf r.namespace target ~meta payload)
 
-let remove r ~subject target =
-  match parent_of target with
-  | Error e -> Error e
-  | Ok parent_path -> (
-    match walk r ~subject parent_path with
+(* One walk end to end.  The old shape walked to the parent and then
+   re-resolved the full target from the root, re-checking [List] on
+   every ancestor: duplicate audit events for each, double traversal
+   cost, and a window between the two walks in which a rename could
+   make them disagree about which node is being removed.  Here the
+   victim is found among the parent's own entries, so every ancestor
+   is checked exactly once and the parent node, the victim and the
+   unlink all come from the same traversal. *)
+let remove ?(span = Trace.none) r ~subject target =
+  let result =
+    match parent_of target with
     | Error e -> Error e
-    | Ok parent_node -> (
-      match resolve r ~subject ~mode:Access_mode.Delete target with
+    | Ok parent_path -> (
+      match walk ~span r ~subject parent_path with
       | Error e -> Error e
-      | Ok victim -> (
-        match
-          attach_check r ~subject ~parent_node ~child_meta:(Namespace.meta victim)
-            target
-        with
+      | Ok parent_node -> (
+        (* The walk checked [List] strictly above the parent; the
+           parent's own [List] check guards reading its entries, as it
+           would on the target walk. *)
+        match check ~span r ~subject parent_node Access_mode.List with
         | Error e -> Error e
         | Ok () -> (
-          match Namespace.remove r.namespace target with
-          | Ok () -> Ok ()
-          | Error error -> Error (Name_error error)))))
+          let basename = Option.value (Path.basename target) ~default:"" in
+          let found =
+            List.find_opt
+              (fun (name, _) -> String.equal name basename)
+              (Namespace.children parent_node)
+          in
+          match found with
+          | None ->
+            if Namespace.is_dir parent_node then
+              Error (Name_error (Namespace.Not_found target))
+            else Error (Name_error (Namespace.Not_a_directory (Namespace.path parent_node)))
+          | Some (_, victim) -> (
+            match check ~span r ~subject victim Access_mode.Delete with
+            | Error e -> Error e
+            | Ok () -> (
+              match
+                attach_check r ~subject ~parent_node
+                  ~child_meta:(Namespace.meta victim) target
+              with
+              | Error e -> Error e
+              | Ok () -> (
+                match Namespace.remove r.namespace target with
+                | Ok () -> Ok ()
+                | Error error -> Error (Name_error error)))))))
+  in
+  observe_outcome result;
+  result
 
 let set_acl r ~subject target acl =
   match walk r ~subject target with

@@ -27,10 +27,13 @@ type denial =
 val pp_denial : Format.formatter -> denial -> unit
 
 val resolve :
+  ?span:Exsec_obs.Trace.handle ->
   'a t -> subject:Subject.t -> mode:Access_mode.t -> Path.t ->
   ('a Namespace.node, denial) result
 (** Traverse to the target (checking [List] on the way) and check
-    [mode] on it. *)
+    [mode] on it.  Feeds the [resolver.*] metrics (resolve count,
+    denial/name-error counts, latency histogram) and threads [span]
+    through every monitor decision made along the walk. *)
 
 val lookup :
   'a t -> subject:Subject.t -> Path.t -> ('a Namespace.node, denial) result
@@ -51,7 +54,12 @@ val create_leaf :
   ('a Namespace.node, denial) result
 
 val remove :
+  ?span:Exsec_obs.Trace.handle ->
   'a t -> subject:Subject.t -> Path.t -> (unit, denial) result
+(** Unlink the target in one walk: [List] down to and including the
+    parent, the victim found among the parent's entries, [Delete] on
+    the victim and the attach rule on the parent — each ancestor is
+    checked (and audited) exactly once. *)
 
 val set_acl :
   'a t -> subject:Subject.t -> Path.t -> Acl.t -> (unit, denial) result

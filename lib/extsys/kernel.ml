@@ -1,4 +1,19 @@
 open Exsec_core
+module Metrics = Exsec_obs.Metrics
+module Trace = Exsec_obs.Trace
+
+(* Call-path instruments.  The call counter and latency histogram see
+   every invocation; the certificate counter distinguishes link-time
+   admitted calls (the SPIN fast path) from monitor-checked ones.
+   Every trace span of the kernel hot path is born here and threaded
+   through resolution and the monitor. *)
+let m_calls = Metrics.counter "kernel.calls"
+let m_call_errors = Metrics.counter "kernel.call_errors"
+let m_quota_denied = Metrics.counter "kernel.quota_denied"
+let m_cert_fast_path = Metrics.counter "kernel.cert_fast_path"
+let m_broadcasts = Metrics.counter "kernel.broadcasts"
+let m_spawns = Metrics.counter "kernel.spawns"
+let m_call_ns = Metrics.histogram "kernel.call_ns"
 
 type entry = ..
 
@@ -189,16 +204,47 @@ and dispatch_event kernel ~subject ~caller:_ path args =
     | Failure message -> Error (Service.Ext_failure message))
 
 and call ?(checked = true) kernel ~subject ~caller path args =
-  match Quota.charge_call kernel.quota (Subject.principal subject) with
-  | Error denial ->
-    Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
-  | Ok () -> call_uncharged ~checked kernel ~subject ~caller path args
+  Metrics.incr m_calls;
+  let t0 = Metrics.start_timing m_call_ns in
+  let span = Trace.start "kernel.call" in
+  if Trace.active span then begin
+    Trace.annotate span "path" (Path.to_string path);
+    Trace.annotate span "subject"
+      (Principal.individual_name (Subject.principal subject));
+    Trace.annotate span "caller" caller
+  end;
+  let result =
+    match Quota.charge_call kernel.quota (Subject.principal subject) with
+    | Error denial ->
+      Metrics.incr m_quota_denied;
+      if Trace.active span then Trace.annotate span "quota" "denied";
+      Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+    | Ok () -> call_uncharged ~checked ~span kernel ~subject ~caller path args
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error _ -> Metrics.incr m_call_errors);
+  if Trace.active span then
+    Trace.annotate span "result"
+      (match result with
+      | Ok _ -> "ok"
+      | Error _ -> "error");
+  Trace.finish span;
+  Metrics.stop_timing m_call_ns t0;
+  result
 
-and call_uncharged ~checked kernel ~subject ~caller path args =
-  let checked = checked && not (certificate_admits kernel ~caller ~subject path) in
+and call_uncharged ~checked ~span kernel ~subject ~caller path args =
+  let certified = checked && certificate_admits kernel ~caller ~subject path in
+  let checked = checked && not certified in
+  if certified then begin
+    Metrics.incr m_cert_fast_path;
+    if Trace.active span then Trace.annotate span "fastpath" "certificate"
+  end;
   let resolved =
     if checked then
-      match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Execute path with
+      match
+        Resolver.resolve ~span kernel.resolver ~subject ~mode:Access_mode.Execute path
+      with
       | Ok node -> Ok node
       | Error denial -> Error (error_of_denial denial)
     else
@@ -226,8 +272,10 @@ let run_handler kernel ~subject (handler : Dispatcher.handler) args =
 
 let rec broadcast ?(checked = true) kernel ~subject ~caller path args =
   ignore caller;
+  Metrics.incr m_broadcasts;
   match Quota.charge_call kernel.quota (Subject.principal subject) with
   | Error denial ->
+    Metrics.incr m_quota_denied;
     Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
   | Ok () -> broadcast_uncharged ~checked kernel ~subject path args
 
@@ -294,6 +342,7 @@ and spawn_uncounted kernel ~subject ~name ~body =
   with
   | Error denial -> Error (error_of_denial denial)
   | Ok _ ->
+    Metrics.incr m_spawns;
     Sched.add kernel.sched thread;
     Ok thread
 

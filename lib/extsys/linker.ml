@@ -1,4 +1,10 @@
 open Exsec_core
+module Metrics = Exsec_obs.Metrics
+
+let m_links = Metrics.counter "linker.links"
+let m_link_failures = Metrics.counter "linker.link_failures"
+let m_unloads = Metrics.counter "linker.unloads"
+let m_certificates = Metrics.counter "linker.certificates_issued"
 
 type link_error =
   | Import_denied of { import : Path.t; error : Service.error }
@@ -189,7 +195,7 @@ let loaded_by kernel author =
          | None -> false)
        (Kernel.loaded_extensions kernel))
 
-let link kernel ~subject (extension : Extension.t) =
+let link_unmetered kernel ~subject (extension : Extension.t) =
   let name = extension.Extension.ext_name in
   let quota_check =
     Quota.check_extensions (Kernel.quota kernel) extension.Extension.author
@@ -264,6 +270,15 @@ let link kernel ~subject (extension : Extension.t) =
         Error (Init_failed error))
   end)
 
+let link kernel ~subject extension =
+  let result = link_unmetered kernel ~subject extension in
+  (match result with
+  | Ok linked ->
+    Metrics.incr m_links;
+    if Option.is_some linked.Linked.certificate then Metrics.incr m_certificates
+  | Error _ -> Metrics.incr m_link_failures);
+  result
+
 let unload kernel ~subject name =
   match Kernel.find_loaded kernel name with
   | None -> Error (Service.Unresolved (name ^ ": not loaded"))
@@ -272,6 +287,7 @@ let unload kernel ~subject name =
       | [] ->
         Dispatcher.unregister_owner (Kernel.dispatcher kernel) name;
         Kernel.forget_loaded kernel name;
+        Metrics.incr m_unloads;
         Ok ()
       | path :: rest -> (
         match Resolver.remove (Kernel.resolver kernel) ~subject path with

@@ -1,5 +1,10 @@
 open Exsec_core
 
+module Metrics = Exsec_obs.Metrics
+
+let m_charges = Metrics.counter "quota.charges"
+let m_denials = Metrics.counter "quota.denials"
+
 type limits = {
   max_calls : int option;
   max_threads : int option;
@@ -11,19 +16,46 @@ let calls n = { unlimited with max_calls = Some n }
 
 type entry = {
   limits : limits;
-  mutable used_calls : int;
+  used_calls : int Atomic.t;
 }
 
-type t = { table : (string, entry) Hashtbl.t }
+module Smap = Map.Make (String)
 
-let create () = { table = Hashtbl.create 8 }
+(* The table is an immutable map snapshot held in an Atomic and
+   replaced by CAS ([set]/[clear] are rare administrative operations);
+   the per-entry call counter is itself atomic and charged by CAS, so
+   the hot path — [charge_call] on every kernel invocation, from any
+   domain — takes no lock and loses no increments.  The previous shape
+   (unsynchronized Hashtbl + non-atomic read-modify-write) both tore
+   the table under concurrent [set] and let racing charges land on the
+   same count, admitting more calls than the limit. *)
+type t = { entries : entry Smap.t Atomic.t }
+
+let create () = { entries = Atomic.make Smap.empty }
+
+let rec update quota f =
+  let before = Atomic.get quota.entries in
+  let after = f before in
+  if not (Atomic.compare_and_set quota.entries before after) then update quota f
 
 let set quota ind limits =
-  Hashtbl.replace quota.table (Principal.individual_name ind) { limits; used_calls = 0 }
+  let name = Principal.individual_name ind in
+  update quota (fun entries ->
+      (* Re-registering adjusts the budget but must not forgive
+         consumption: keep the accrued counter (shared with any
+         concurrent charger) and swap only the limits. *)
+      let used_calls =
+        match Smap.find_opt name entries with
+        | Some previous -> previous.used_calls
+        | None -> Atomic.make 0
+      in
+      Smap.add name { limits; used_calls } entries)
 
-let clear quota ind = Hashtbl.remove quota.table (Principal.individual_name ind)
+let clear quota ind =
+  update quota (Smap.remove (Principal.individual_name ind))
 
-let find quota ind = Hashtbl.find_opt quota.table (Principal.individual_name ind)
+let find quota ind =
+  Smap.find_opt (Principal.individual_name ind) (Atomic.get quota.entries)
 
 let limits_of quota ind = Option.map (fun e -> e.limits) (find quota ind)
 
@@ -48,23 +80,31 @@ let pp_denial ppf { principal; resource; limit } =
     (resource_name resource) limit
 
 let charge_call quota ind =
+  Metrics.incr m_charges;
   match find quota ind with
   | None -> Ok ()
   | Some entry -> (
     match entry.limits.max_calls with
     | None -> Ok ()
     | Some limit ->
-      if entry.used_calls >= limit then
-        Error { principal = ind; resource = Calls; limit }
-      else begin
-        entry.used_calls <- entry.used_calls + 1;
-        Ok ()
-      end)
+      (* CAS loop: a charge lands exactly when it moves the counter
+         from a value below the limit, so N racing domains against a
+         budget of L admit exactly min(N, remaining) calls. *)
+      let rec charge () =
+        let used = Atomic.get entry.used_calls in
+        if used >= limit then begin
+          Metrics.incr m_denials;
+          Error { principal = ind; resource = Calls; limit }
+        end
+        else if Atomic.compare_and_set entry.used_calls used (used + 1) then Ok ()
+        else charge ()
+      in
+      charge ())
 
 let calls_used quota ind =
   match find quota ind with
   | None -> 0
-  | Some entry -> entry.used_calls
+  | Some entry -> Atomic.get entry.used_calls
 
 let check_bound quota ind ~current resource pick =
   match find quota ind with
@@ -73,7 +113,11 @@ let check_bound quota ind ~current resource pick =
     match pick entry.limits with
     | None -> Ok ()
     | Some limit ->
-      if current >= limit then Error { principal = ind; resource; limit } else Ok ())
+      if current >= limit then begin
+        Metrics.incr m_denials;
+        Error { principal = ind; resource; limit }
+      end
+      else Ok ())
 
 let check_threads quota ind ~live =
   check_bound quota ind ~current:live Threads (fun l -> l.max_threads)

@@ -12,7 +12,12 @@
     Principals without an entry are unlimited (quotas are opt-in, for
     sandboxing the untrusted); charging is by the {e subject's}
     principal, so an extension exhausts its caller's budget, never its
-    author's. *)
+    author's.
+
+    The table is safe to share across OCaml 5 domains: entries live in
+    an immutable snapshot swapped by CAS, and the call counter is an
+    atomic charged by CAS, so concurrent charges against a budget of
+    [L] admit exactly [L] calls. *)
 
 open Exsec_core
 
@@ -29,7 +34,13 @@ val calls : int -> limits
 type t
 
 val create : unit -> t
+
 val set : t -> Principal.individual -> limits -> unit
+(** Install or adjust a principal's budget.  Re-registering an already
+    budgeted principal swaps the limits but {e preserves} the accrued
+    call count — adjusting a budget must not forgive consumption (use
+    {!clear} followed by {!set} to reset). *)
+
 val clear : t -> Principal.individual -> unit
 val limits_of : t -> Principal.individual -> limits option
 

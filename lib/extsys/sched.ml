@@ -1,3 +1,8 @@
+module Metrics = Exsec_obs.Metrics
+
+let m_quanta = Metrics.counter "sched.quanta"
+let m_live_threads = Metrics.gauge "sched.live_threads"
+
 type t = {
   mutable ring : Thread.t list;  (* order added *)
   mutable cursor : int;
@@ -11,12 +16,14 @@ let find sched id = List.find_opt (fun t -> Thread.id t = id) sched.ring
 
 let step sched =
   let live = alive sched in
+  Metrics.set_gauge m_live_threads (List.length live);
   match live with
   | [] -> false
   | _ ->
     let count = List.length live in
     let victim = List.nth live (sched.cursor mod count) in
     sched.cursor <- sched.cursor + 1;
+    Metrics.incr m_quanta;
     Thread.step victim;
     true
 

@@ -1,8 +1,12 @@
 open Exsec_core
 open Exsec_extsys
+module Metrics = Exsec_obs.Metrics
+module Trace = Exsec_obs.Trace
 
 let mount_point = Path.of_string "/svc/introspect"
 let audit_tail_path = Path.of_string "/svc/introspect/audit_tail"
+let metrics_path = Path.of_string "/svc/introspect/metrics"
+let trace_tail_path = Path.of_string "/svc/introspect/trace_tail"
 
 let extensions_impl kernel _ctx _args =
   Ok (Value.list (List.map Value.str (Kernel.loaded_extensions kernel)))
@@ -20,15 +24,17 @@ let audit_totals_impl kernel _ctx _args =
   Ok (Value.pair (Value.int (Audit.granted_total audit)) (Value.int (Audit.denied_total audit)))
 
 let audit_tail_impl kernel _ctx args =
+  (* Negative counts clamp to 0 (empty tail) rather than leaking the
+     whole log, and [Audit.tail] gathers only the requested window per
+     shard instead of materializing and double-traversing the full
+     merged list as the first version did. *)
   let count =
     match args with
-    | [ Value.Int n ] -> n
+    | [ Value.Int n ] -> Stdlib.max 0 n
     | _ -> 16
   in
   let audit = Reference_monitor.audit (Kernel.monitor kernel) in
-  let events = Audit.events audit in
-  let keep = Stdlib.max 0 (List.length events - count) in
-  let tail = List.filteri (fun i _ -> i >= keep) events in
+  let tail = Audit.tail audit ~count in
   Ok (Value.list (List.map (fun e -> Value.str (Format.asprintf "%a" Audit.pp_event e)) tail))
 
 let namespace_size_impl kernel _ctx _args =
@@ -50,6 +56,41 @@ let cache_stats_impl kernel _ctx _args =
            counter "capacity" stats.Decision_cache.capacity;
            counter "shards" stats.Decision_cache.shards;
          ])
+
+let metrics_impl _kernel _ctx _args =
+  (* The whole registry as (name, value) pairs, in the cache_stats
+     shape: counters and gauges verbatim, each histogram flattened to
+     <name>.count / .sum_ns / .p50_ns / .p95_ns / .p99_ns (percentiles
+     rounded to integer nanoseconds — Value has no float). *)
+  let snap = Metrics.snapshot () in
+  let pair name value = Value.pair (Value.str name) (Value.int value) in
+  let counters = List.map (fun (name, value) -> pair name value) snap.Metrics.counters in
+  let gauges = List.map (fun (name, value) -> pair name value) snap.Metrics.gauges in
+  let histograms =
+    List.concat_map
+      (fun (name, summary) ->
+        [
+          pair (name ^ ".count") summary.Metrics.hs_count;
+          pair (name ^ ".sum_ns") summary.Metrics.hs_sum_ns;
+          pair (name ^ ".p50_ns") (int_of_float summary.Metrics.p50_ns);
+          pair (name ^ ".p95_ns") (int_of_float summary.Metrics.p95_ns);
+          pair (name ^ ".p99_ns") (int_of_float summary.Metrics.p99_ns);
+        ])
+      snap.Metrics.histograms
+  in
+  Ok
+    (Value.list
+       (pair "enabled" (if snap.Metrics.snap_enabled then 1 else 0)
+       :: (counters @ gauges @ histograms)))
+
+let trace_tail_impl _kernel _ctx args =
+  let count =
+    match args with
+    | [ Value.Int n ] -> Stdlib.max 0 n
+    | _ -> 16
+  in
+  let spans = Trace.tail ~count () in
+  Ok (Value.list (List.map (fun span -> Value.str (Trace.span_to_line span)) spans))
 
 let install kernel ~subject =
   let owner = Subject.principal subject in
@@ -74,4 +115,8 @@ let install kernel ~subject =
   let* () = install "audit_totals" 0 (open_meta ()) (audit_totals_impl kernel) in
   let* () = install "audit_tail" (-1) (audit_meta ()) (audit_tail_impl kernel) in
   let* () = install "namespace_size" 0 (open_meta ()) (namespace_size_impl kernel) in
-  install "cache_stats" 0 (open_meta ()) (cache_stats_impl kernel)
+  let* () = install "cache_stats" 0 (open_meta ()) (cache_stats_impl kernel) in
+  let* () = install "metrics" 0 (open_meta ()) (metrics_impl kernel) in
+  (* Traces carry paths and subjects of everyone's calls — classified
+     like the audit tail. *)
+  install "trace_tail" (-1) (audit_meta ()) (trace_tail_impl kernel)

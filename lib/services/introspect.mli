@@ -18,7 +18,13 @@
     - [namespace_size : () -> int]        node count
     - [cache_stats : () -> list (pair str int)]  decision-cache counters
       (hits, misses, evictions, invalidations, size, capacity; the
-      empty list when the monitor runs uncached) *)
+      empty list when the monitor runs uncached)
+    - [metrics : () -> list (pair str int)]  the whole [Exsec_obs]
+      registry: counters and gauges verbatim, histograms flattened to
+      [<name>.count]/[.sum_ns]/[.p50_ns]/[.p95_ns]/[.p99_ns], plus an
+      [enabled] flag pair first
+    - [trace_tail : int -> list str]      rendered recent call spans
+      (classified like [audit_tail]; count clamped at 0) *)
 
 open Exsec_core
 open Exsec_extsys
@@ -26,3 +32,5 @@ open Exsec_extsys
 val install : Kernel.t -> subject:Subject.t -> (unit, Service.error) result
 val mount_point : Path.t
 val audit_tail_path : Path.t
+val metrics_path : Path.t
+val trace_tail_path : Path.t

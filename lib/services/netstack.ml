@@ -1,11 +1,27 @@
 open Exsec_core
 open Exsec_extsys
+module Metrics = Exsec_obs.Metrics
 
-type endpoint_state = { mutable inbox : string list (* newest first *) }
+let m_sends = Metrics.counter "net.sends"
+let m_recvs = Metrics.counter "net.recvs"
+
+(* Each endpoint's inbox is guarded by its own mutex: concurrent
+   senders (and a draining receiver) on different domains previously
+   raced the bare list field, losing messages outright — a send could
+   cons onto an inbox the receiver was in the middle of swapping out.
+   [inbox_len] is maintained alongside so [pending] is O(1) instead of
+   walking the list. *)
+type endpoint_state = {
+  ep_lock : Mutex.t;
+  mutable inbox : string list;  (* newest first *)
+  mutable inbox_len : int;
+}
+
 type Kernel.entry += Endpoint
 
 type t = {
   kernel : Kernel.t;
+  states_lock : Mutex.t;  (* guards the table itself; listen/close race lookups *)
   states : (string, endpoint_state) Hashtbl.t;  (* keyed by rendered path *)
 }
 
@@ -33,7 +49,7 @@ let install kernel ~subject =
       (Security_class.bottom (Kernel.hierarchy kernel) (Kernel.universe kernel))
   in
   match Kernel.add_dir kernel ~subject net_root ~meta with
-  | Ok () -> Ok { kernel; states = Hashtbl.create 16 }
+  | Ok () -> Ok { kernel; states_lock = Mutex.create (); states = Hashtbl.create 16 }
   | Error e -> Error e
 
 let default_acl owner =
@@ -78,7 +94,9 @@ let listen net ~subject ?acl ?klass ~host ~port () =
   in
   let path = endpoint_path ~host ~port in
   let* () = Kernel.install_entry net.kernel ~subject path ~meta:(Meta.make ~owner ~acl klass) Endpoint in
-  Hashtbl.replace net.states (Path.to_string path) { inbox = [] };
+  Mutex.protect net.states_lock (fun () ->
+      Hashtbl.replace net.states (Path.to_string path)
+        { ep_lock = Mutex.create (); inbox = []; inbox_len = 0 });
   Ok ()
 
 let resolve_endpoint net ~subject ~mode ~host ~port =
@@ -88,7 +106,10 @@ let resolve_endpoint net ~subject ~mode ~host ~port =
   | Ok node -> (
     match Namespace.payload node with
     | Some Endpoint -> (
-      match Hashtbl.find_opt net.states (Path.to_string path) with
+      match
+        Mutex.protect net.states_lock (fun () ->
+            Hashtbl.find_opt net.states (Path.to_string path))
+      with
       | Some state -> Ok state
       | None -> Error (Service.Unresolved (Path.to_string path ^ ": endpoint state missing")))
     | Some _ | None ->
@@ -106,26 +127,40 @@ let send net ~subject conn payload =
   with
   | Error e -> Error e
   | Ok state ->
-    state.inbox <- payload :: state.inbox;
+    Mutex.protect state.ep_lock (fun () ->
+        state.inbox <- payload :: state.inbox;
+        state.inbox_len <- state.inbox_len + 1);
+    Metrics.incr m_sends;
     Ok ()
 
 let recv net ~subject ~host ~port =
   match resolve_endpoint net ~subject ~mode:Access_mode.Read ~host ~port with
   | Error e -> Error e
   | Ok state ->
-    let drained = List.rev state.inbox in
-    state.inbox <- [];
+    let drained =
+      Mutex.protect state.ep_lock (fun () ->
+          let taken = state.inbox in
+          state.inbox <- [];
+          state.inbox_len <- 0;
+          List.rev taken)
+    in
+    Metrics.incr m_recvs;
     Ok drained
 
 let close net ~subject ~host ~port =
   let path = endpoint_path ~host ~port in
   match Resolver.remove (Kernel.resolver net.kernel) ~subject path with
   | Ok () ->
-    Hashtbl.remove net.states (Path.to_string path);
+    Mutex.protect net.states_lock (fun () ->
+        Hashtbl.remove net.states (Path.to_string path));
     Ok ()
   | Error denial -> Error (Kernel.error_of_denial denial)
 
 let pending net ~host ~port =
-  match Hashtbl.find_opt net.states (Path.to_string (endpoint_path ~host ~port)) with
-  | Some state -> List.length state.inbox
+  let found =
+    Mutex.protect net.states_lock (fun () ->
+        Hashtbl.find_opt net.states (Path.to_string (endpoint_path ~host ~port)))
+  in
+  match found with
+  | Some state -> Mutex.protect state.ep_lock (fun () -> state.inbox_len)
   | None -> 0

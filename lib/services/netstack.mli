@@ -14,7 +14,13 @@
     free: a low client may send {e up} into a higher-classified
     service (the star property), but cannot connect-and-read from it
     (no read-up), and a high subject cannot push data down through a
-    low endpoint (no write-down). *)
+    low endpoint (no write-down).
+
+    Endpoints are safe under concurrent domains: each inbox is guarded
+    by its own mutex (senders and the draining receiver serialize per
+    endpoint, not globally) and no message is lost — the count drained
+    by {!recv} plus what {!pending} still reports always equals the
+    successful {!send}s. *)
 
 open Exsec_core
 open Exsec_extsys
@@ -60,4 +66,5 @@ val close : t -> subject:Subject.t -> host:string -> port:int ->
     ([Delete] plus the container rule). *)
 
 val pending : t -> host:string -> port:int -> int
-(** Unchecked inbox size (for tests). *)
+(** Unchecked inbox size (for tests); O(1) — maintained alongside the
+    inbox, not recomputed from it. *)

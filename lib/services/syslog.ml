@@ -77,3 +77,16 @@ let append_cache_stats log ~subject =
       Format.asprintf "monitor cache: %a" Decision_cache.pp_stats stats
   in
   append log ~subject line
+
+let append_metrics log ~subject =
+  (* One checked append per structured line (the "metrics ..."
+     counter/gauge line plus one "latency <name> ..." line per
+     histogram): each write is an ordinary audited Write_append, and a
+     denial stops the export where it stood. *)
+  let lines = Exsec_obs.Metrics.(snapshot_lines (snapshot ())) in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> append log ~subject line)
+    (Ok ()) lines

@@ -40,3 +40,10 @@ val append_cache_stats : t -> subject:Subject.t -> (unit, Service.error) result
     ({!Kernel.cache_stats}) as one rendered log line — the periodic
     observability hook an operator scrapes.  Same [Write_append]
     check as {!append}. *)
+
+val append_metrics : t -> subject:Subject.t -> (unit, Service.error) result
+(** Snapshot the whole [Exsec_obs] metrics registry as structured
+    [key=value] lines ({!Exsec_obs.Metrics.snapshot_lines}): one
+    counters-and-gauges line plus one latency line per histogram.
+    Each line is a separate checked [Write_append]; a denial stops
+    the export at that point. *)

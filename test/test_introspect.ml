@@ -82,9 +82,79 @@ let test_namespace_size () =
   let alice_sub = Subject.make alice (cls kernel "lo") in
   match call kernel alice_sub "namespace_size" [] with
   | Ok (Value.Int n) ->
-    (* root + 3 std dirs + introspect dir + 6 procs = 11 *)
-    Alcotest.(check int) "node count" 11 n
+    (* root + 3 std dirs + introspect dir + 8 procs = 13 *)
+    Alcotest.(check int) "node count" 13 n
   | _ -> Alcotest.fail "namespace_size"
+
+let test_audit_tail_matches_events () =
+  let kernel, _, alice = boot () in
+  let alice_sub = Subject.make alice (cls kernel "lo") in
+  (* Generate a little traffic, then check the proc's tail agrees with
+     the full event list. *)
+  let _ = call kernel alice_sub "namespace_size" [] in
+  let audit = Reference_monitor.audit (Kernel.monitor kernel) in
+  let events = Audit.events audit in
+  let tail = Audit.tail audit ~count:3 in
+  let expected =
+    let n = List.length events in
+    List.filteri (fun i _ -> i >= n - 3) events
+  in
+  check "tail is the newest suffix of events" true (tail = expected);
+  check "negative count is clamped" true (Audit.tail audit ~count:(-5) = []);
+  match call kernel (Kernel.admin_subject kernel) "audit_tail" [ Value.int (-5) ] with
+  | Ok (Value.List []) -> ()
+  | _ -> Alcotest.fail "negative audit_tail count should clamp to empty"
+
+let test_metrics_proc () =
+  let kernel, _, alice = boot () in
+  let alice_sub = Subject.make alice (cls kernel "lo") in
+  Exsec_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Exsec_obs.Metrics.set_enabled false;
+      Exsec_obs.Metrics.reset ())
+    (fun () ->
+      (* Drive one call through the kernel so the counters move. *)
+      let _ = call kernel alice_sub "namespace_size" [] in
+      match call kernel alice_sub "metrics" [] with
+      | Ok (Value.List (Value.Pair (Value.Str "enabled", Value.Int 1) :: rest)) ->
+        let names =
+          List.filter_map
+            (function Value.Pair (Value.Str name, Value.Int _) -> Some name | _ -> None)
+            rest
+        in
+        check "all entries are (name, int) pairs" true
+          (List.length names = List.length rest);
+        check "kernel.calls exported" true (List.mem "kernel.calls" names);
+        check "decision histogram flattened" true
+          (List.mem "monitor.decide_ns.count" names)
+      | Ok other -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Value.pp other)
+      | Error e -> Alcotest.failf "metrics: %s" (Service.error_to_string e))
+
+let test_trace_tail_proc () =
+  let kernel, _, alice = boot () in
+  let alice_sub = Subject.make alice (cls kernel "lo") in
+  Exsec_obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Exsec_obs.Trace.set_enabled false;
+      Exsec_obs.Trace.clear ())
+    (fun () ->
+      let _ = call kernel alice_sub "namespace_size" [] in
+      (* Traces carry everyone's call paths: classified like the audit
+         trail, so a low subject is refused. *)
+      (match call kernel alice_sub "trace_tail" [ Value.int 4 ] with
+      | Error (Service.Denied _) -> ()
+      | _ -> Alcotest.fail "low subject read the trace ring");
+      match call kernel (Kernel.admin_subject kernel) "trace_tail" [ Value.int 8 ] with
+      | Ok (Value.List lines) ->
+        check "some spans" true (lines <> []);
+        check "kernel.call span present" true
+          (List.exists
+             (function Value.Str line -> String.length line > 0 | _ -> false)
+             lines)
+      | Ok other -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Value.pp other)
+      | Error e -> Alcotest.failf "trace_tail: %s" (Service.error_to_string e))
 
 let suite =
   [
@@ -93,4 +163,7 @@ let suite =
     Alcotest.test_case "audit totals world-readable" `Quick test_audit_totals_world_readable;
     Alcotest.test_case "audit tail classified" `Quick test_audit_tail_classified;
     Alcotest.test_case "namespace size" `Quick test_namespace_size;
+    Alcotest.test_case "audit tail matches events" `Quick test_audit_tail_matches_events;
+    Alcotest.test_case "metrics proc" `Quick test_metrics_proc;
+    Alcotest.test_case "trace_tail proc" `Quick test_trace_tail_proc;
   ]

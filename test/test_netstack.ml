@@ -2,6 +2,10 @@ open Exsec_core
 open Exsec_extsys
 open Exsec_services
 
+(* [Exsec_extsys.Domain] (protection domains) shadows stdlib [Domain]
+   (OCaml parallelism); the conservation test below needs the latter. *)
+module Sdomain = Stdlib.Domain
+
 let check = Alcotest.(check bool)
 
 let boot () =
@@ -146,9 +150,58 @@ let test_close () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "connected to closed endpoint"
 
+(* The race the per-endpoint mutex closes: concurrent senders consing
+   onto the bare inbox field while the receiver swapped it out simply
+   lost messages.  Conservation: everything sent is either drained by
+   a recv or still pending — never dropped, never duplicated. *)
+let test_concurrent_send_recv_conservation () =
+  let kernel, net, server, client, _ = boot () in
+  let server_sub = Subject.make server (cls kernel "org" []) in
+  let client_sub = Subject.make client (cls kernel "org" []) in
+  let () = ok "listen" (Netstack.listen net ~subject:server_sub ~host:"mail" ~port:25 ()) in
+  let conn = ok "connect" (Netstack.connect net ~subject:client_sub ~host:"mail" ~port:25) in
+  let senders = 4 and per_sender = 400 in
+  let sent = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let sender_domains =
+    List.init senders (fun d ->
+        Sdomain.spawn (fun () ->
+            for i = 1 to per_sender do
+              match
+                Netstack.send net ~subject:client_sub conn (Printf.sprintf "m%d-%d" d i)
+              with
+              | Ok () -> Atomic.incr sent
+              | Error e -> failwith (Service.error_to_string e)
+            done))
+  in
+  let drainer =
+    Sdomain.spawn (fun () ->
+        let drained = ref 0 in
+        let drain () =
+          match Netstack.recv net ~subject:server_sub ~host:"mail" ~port:25 with
+          | Ok batch -> drained := !drained + List.length batch
+          | Error e -> failwith (Service.error_to_string e)
+        in
+        while not (Atomic.get stop) do
+          drain ()
+        done;
+        (* One final sweep after the senders are done. *)
+        drain ();
+        !drained)
+  in
+  List.iter Sdomain.join sender_domains;
+  Atomic.set stop true;
+  let drained = Sdomain.join drainer in
+  let leftover = Netstack.pending net ~host:"mail" ~port:25 in
+  Alcotest.(check int) "every send was admitted" (senders * per_sender) (Atomic.get sent);
+  Alcotest.(check int)
+    "conservation: drained + pending = sent" (senders * per_sender) (drained + leftover)
+
 let suite =
   [
     Alcotest.test_case "listen/connect/send/recv" `Quick test_listen_connect_send_recv;
+    Alcotest.test_case "concurrent send/recv conservation" `Quick
+      test_concurrent_send_recv_conservation;
     Alcotest.test_case "unknown endpoint" `Quick test_unknown_endpoint;
     Alcotest.test_case "ACL restricts connect" `Quick test_acl_restricts_connect;
     Alcotest.test_case "third-host containment" `Quick test_third_host_containment;

@@ -1,0 +1,301 @@
+(* The observability library: instrument laws under domains, the
+   trace ring, and the noop-mode zero-cost guarantee the kernel's
+   zero-allocation fast path depends on. *)
+
+module Metrics = Exsec_obs.Metrics
+module Trace = Exsec_obs.Trace
+
+(* Collection and tracing are process-global switches; every test
+   restores the boot state (disabled, zeroed) so the other suites
+   keep running against noop instruments. *)
+let with_collection f =
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ();
+      Trace.set_capacity 256)
+    f
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let minor_delta f =
+  let before = Gc.minor_words () in
+  let result = f () in
+  let after = Gc.minor_words () in
+  result, int_of_float (after -. before)
+
+(* {1 Counters and gauges} *)
+
+let test_counter_laws () =
+  with_collection (fun () ->
+      let c = Metrics.counter "test.counter" in
+      Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+      Metrics.incr c;
+      Metrics.incr c;
+      Metrics.add c 40;
+      Alcotest.(check int) "incr and add accumulate" 42 (Metrics.value c);
+      Alcotest.(check string) "name" "test.counter" (Metrics.counter_name c);
+      let c' = Metrics.counter "test.counter" in
+      Metrics.incr c';
+      Alcotest.(check int) "interning returns the same cell" 43 (Metrics.value c))
+
+let test_counter_parallel () =
+  with_collection (fun () ->
+      let c = Metrics.counter "test.parallel_counter" in
+      let domains = 8 and per_domain = 25_000 in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Metrics.incr c
+                done))
+      in
+      List.iter Domain.join workers;
+      Alcotest.(check int)
+        "no increment is lost across domains" (domains * per_domain) (Metrics.value c))
+
+let test_gauge_laws () =
+  with_collection (fun () ->
+      let g = Metrics.gauge "test.gauge" in
+      Metrics.set_gauge g 7;
+      Metrics.set_gauge g 3;
+      Alcotest.(check int) "last write wins" 3 (Metrics.gauge_value g));
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 99;
+  Alcotest.(check int) "writes are ignored when disabled" 0 (Metrics.gauge_value g)
+
+(* {1 Histograms} *)
+
+let test_histogram_laws () =
+  with_collection (fun () ->
+      let h = Metrics.histogram "test.histogram" in
+      Alcotest.(check (float 0.001)) "empty quantile" 0.0 (Metrics.quantile h 0.5);
+      List.iter (Metrics.observe h) [ 1; 3; 800; 1_000; 100_000 ];
+      Alcotest.(check int) "count" 5 (Metrics.count h);
+      Alcotest.(check int) "sum" 101_804 (Metrics.sum_ns h);
+      let p50 = Metrics.quantile h 0.5 in
+      let p95 = Metrics.quantile h 0.95 in
+      let p99 = Metrics.quantile h 0.99 in
+      Alcotest.(check bool) "p50 within the observed range" true (p50 >= 1.0 && p50 <= 2048.0);
+      Alcotest.(check bool) "quantiles are monotone" true (p50 <= p95 && p95 <= p99);
+      Alcotest.(check bool)
+        "p99 lands in the top octave of the data" true
+        (p99 > 65536.0 && p99 <= 262144.0))
+
+let test_histogram_parallel () =
+  with_collection (fun () ->
+      let h = Metrics.histogram "test.parallel_histogram" in
+      let domains = 6 and per_domain = 5_000 in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Metrics.observe h 100
+                done))
+      in
+      List.iter Domain.join workers;
+      Alcotest.(check int)
+        "no observation is lost across domains" (domains * per_domain) (Metrics.count h);
+      Alcotest.(check int) "sum is conserved" (domains * per_domain * 100) (Metrics.sum_ns h))
+
+let test_histogram_sampling () =
+  with_collection (fun () ->
+      let h = Metrics.histogram ~sample_shift:3 "test.sampled_histogram" in
+      for _ = 1 to 64 do
+        let t0 = Metrics.start_timing h in
+        Metrics.stop_timing h t0
+      done;
+      (* Ticks 0, 8, ..., 56: exactly one pair in 2^3 is timed. *)
+      Alcotest.(check int) "1 of 8 pairs is recorded" 8 (Metrics.count h));
+  Alcotest.check_raises "negative shift is rejected"
+    (Invalid_argument "Metrics.histogram: sample_shift must be >= 0") (fun () ->
+      ignore (Metrics.histogram ~sample_shift:(-1) "test.bad_shift"))
+
+(* {1 Noop mode} *)
+
+let test_noop_is_inert () =
+  let c = Metrics.counter "test.noop_counter" in
+  let g = Metrics.gauge "test.noop_gauge" in
+  let h = Metrics.histogram "test.noop_histogram" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.set_gauge g 5;
+  Metrics.observe h 100;
+  let t0 = Metrics.start_timing h in
+  Metrics.stop_timing h t0;
+  Alcotest.(check int) "counter unmoved" 0 (Metrics.value c);
+  Alcotest.(check int) "gauge unmoved" 0 (Metrics.gauge_value g);
+  Alcotest.(check int) "histogram unmoved" 0 (Metrics.count h);
+  Alcotest.(check int) "start_timing yields the zero stamp" 0 t0
+
+let test_noop_no_allocation () =
+  (* The guarantee the hot path relies on: with collection off, an
+     instrumented call site allocates nothing (same Gc.minor_words
+     idiom as the compiled-ACL fast-path pin). *)
+  let c = Metrics.counter "test.noop_counter" in
+  let h = Metrics.histogram "test.noop_histogram" in
+  let exercise () =
+    for _ = 1 to 1000 do
+      Metrics.incr c;
+      let t0 = Metrics.start_timing h in
+      Metrics.stop_timing h t0
+    done
+  in
+  exercise ();
+  (* warm-up *)
+  let (), words = minor_delta exercise in
+  Alcotest.(check int) "noop instruments allocate nothing" 0 words
+
+let test_trace_disabled_no_allocation () =
+  let exercise () =
+    for _ = 1 to 1000 do
+      let span = Trace.start "test.noop_span" in
+      if Trace.active span then Trace.annotate span "k" "v";
+      Trace.finish span
+    done
+  in
+  exercise ();
+  let (), words = minor_delta exercise in
+  Alcotest.(check int) "disabled tracing allocates nothing" 0 words;
+  Alcotest.(check (list string)) "ring stays empty" []
+    (List.map Trace.span_name (Trace.tail ()))
+
+(* {1 Trace spans and the ring} *)
+
+let test_trace_span_fields () =
+  with_tracing (fun () ->
+      let span = Trace.start "test.span" in
+      Alcotest.(check bool) "active while tracing is on" true (Trace.active span);
+      Trace.annotate span "first" "1";
+      Trace.annotate span "second" "2";
+      Trace.finish span;
+      match Trace.tail () with
+      | [ finished ] ->
+        Alcotest.(check string) "name" "test.span" (Trace.span_name finished);
+        Alcotest.(check bool)
+          "duration is stamped" true
+          (Trace.span_duration_ns finished >= 0);
+        Alcotest.(check (list (pair string string)))
+          "fields in annotation order"
+          [ "first", "1"; "second", "2" ]
+          (Trace.span_fields finished);
+        let line = Trace.span_to_line finished in
+        Alcotest.(check bool) "rendered line carries the fields" true
+          (contains ~sub:"first=1" line
+          && contains ~sub:"second=2" line);
+        let json = Trace.span_to_json finished in
+        Alcotest.(check bool) "json carries the name" true
+          (contains ~sub:"\"test.span\"" json)
+      | spans -> Alcotest.failf "expected one finished span, got %d" (List.length spans))
+
+let test_trace_ring_retention () =
+  with_tracing (fun () ->
+      Trace.set_capacity 4;
+      for i = 0 to 9 do
+        let span = Trace.start (Printf.sprintf "s%d" i) in
+        Trace.finish span
+      done;
+      Alcotest.(check (list string))
+        "only the newest capacity spans survive, oldest first"
+        [ "s6"; "s7"; "s8"; "s9" ]
+        (List.map Trace.span_name (Trace.tail ()));
+      Alcotest.(check (list string))
+        "an explicit count takes the newest" [ "s8"; "s9" ]
+        (List.map Trace.span_name (Trace.tail ~count:2 ()));
+      Alcotest.(check (list string))
+        "negative counts clamp to empty" []
+        (List.map Trace.span_name (Trace.tail ~count:(-3) ()));
+      Trace.clear ();
+      Alcotest.(check (list string)) "clear empties the ring" []
+        (List.map Trace.span_name (Trace.tail ())))
+
+let test_trace_ring_parallel () =
+  with_tracing (fun () ->
+      Trace.set_capacity 64;
+      let domains = 4 and per_domain = 200 in
+      let workers =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  let span = Trace.start (Printf.sprintf "d%d-%d" d i) in
+                  Trace.annotate span "domain" (string_of_int d);
+                  Trace.finish span
+                done))
+      in
+      List.iter Domain.join workers;
+      let retained = Trace.tail () in
+      Alcotest.(check int) "ring holds exactly its capacity" 64 (List.length retained);
+      List.iter
+        (fun span ->
+          Alcotest.(check bool) "every retained span is finished" true
+            (Trace.span_duration_ns span >= 0))
+        retained)
+
+(* {1 Snapshots and rendering} *)
+
+let test_snapshot_rendering () =
+  with_collection (fun () ->
+      let c = Metrics.counter "test.snap_counter" in
+      let h = Metrics.histogram "test.snap_histogram" in
+      Metrics.add c 5;
+      Metrics.observe h 1_000;
+      let snap = Metrics.snapshot () in
+      Alcotest.(check bool) "snapshot sees the enabled flag" true snap.Metrics.snap_enabled;
+      Alcotest.(check (option int))
+        "counter value in the snapshot" (Some 5)
+        (List.assoc_opt "test.snap_counter" snap.Metrics.counters);
+      (match List.assoc_opt "test.snap_histogram" snap.Metrics.histograms with
+      | None -> Alcotest.fail "histogram missing from the snapshot"
+      | Some summary -> Alcotest.(check int) "summary count" 1 summary.Metrics.hs_count);
+      let names = List.map fst snap.Metrics.counters in
+      Alcotest.(check (list string)) "counters are sorted" (List.sort String.compare names)
+        names;
+      let lines = Metrics.snapshot_lines snap in
+      Alcotest.(check bool) "one metrics line" true
+        (List.exists
+           (fun line ->
+             String.length line > 8
+             && String.sub line 0 8 = "metrics "
+             && contains ~sub:"test.snap_counter=5" line)
+           lines);
+      Alcotest.(check bool) "one latency line per histogram" true
+        (List.exists
+           (fun line -> contains ~sub:"latency test.snap_histogram" line)
+           lines);
+      let json = Metrics.snapshot_to_json snap in
+      Alcotest.(check bool) "json shape" true
+        (contains ~sub:"\"enabled\":true" json
+        && contains ~sub:"\"test.snap_counter\":5" json);
+      Metrics.reset ();
+      Alcotest.(check int) "reset zeroes in place" 0 (Metrics.value c);
+      Alcotest.(check int) "reset zeroes histograms" 0 (Metrics.count h))
+
+let suite =
+  [
+    Alcotest.test_case "counter laws" `Quick test_counter_laws;
+    Alcotest.test_case "counter under domains" `Quick test_counter_parallel;
+    Alcotest.test_case "gauge laws" `Quick test_gauge_laws;
+    Alcotest.test_case "histogram laws" `Quick test_histogram_laws;
+    Alcotest.test_case "histogram under domains" `Quick test_histogram_parallel;
+    Alcotest.test_case "histogram sampling" `Quick test_histogram_sampling;
+    Alcotest.test_case "noop mode is inert" `Quick test_noop_is_inert;
+    Alcotest.test_case "noop mode allocates nothing" `Quick test_noop_no_allocation;
+    Alcotest.test_case "disabled tracing allocates nothing" `Quick
+      test_trace_disabled_no_allocation;
+    Alcotest.test_case "trace span fields" `Quick test_trace_span_fields;
+    Alcotest.test_case "trace ring retention" `Quick test_trace_ring_retention;
+    Alcotest.test_case "trace ring under domains" `Quick test_trace_ring_parallel;
+    Alcotest.test_case "snapshot and rendering" `Quick test_snapshot_rendering;
+  ]

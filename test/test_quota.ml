@@ -1,6 +1,10 @@
 open Exsec_core
 open Exsec_extsys
 
+(* [Exsec_extsys.Domain] (protection domains) shadows stdlib [Domain]
+   (OCaml parallelism); the race tests below need the latter. *)
+module Sdomain = Stdlib.Domain
+
 let check = Alcotest.(check bool)
 
 let boot () =
@@ -170,13 +174,71 @@ let test_limits_introspection () =
     check "calls" true (limits.Quota.max_calls = Some 5);
     check "threads unbounded" true (limits.Quota.max_threads = None)
   | None -> Alcotest.fail "limits lost");
-  (* Re-registering resets consumption. *)
+  (* Re-registering adjusts the budget but must not forgive what was
+     already consumed; only clear-then-set starts over. *)
   (match Quota.charge_call quota eve with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "first charge");
   Alcotest.(check int) "one used" 1 (Quota.calls_used quota eve);
   Quota.set quota eve (Quota.calls 5);
-  Alcotest.(check int) "reset" 0 (Quota.calls_used quota eve)
+  Alcotest.(check int) "usage survives re-registration" 1 (Quota.calls_used quota eve);
+  Quota.clear quota eve;
+  Quota.set quota eve (Quota.calls 5);
+  Alcotest.(check int) "clear-then-set starts over" 0 (Quota.calls_used quota eve)
+
+(* The race the atomic CAS charge closes: the old read-modify-write on
+   a plain counter let concurrent charges land on the same count, so N
+   domains hammering a budget of L could be admitted more than L times
+   in total. *)
+let test_charge_race_never_exceeds_limit () =
+  let quota = Quota.create () in
+  let eve = Principal.individual "eve" in
+  let limit = 1_000 in
+  Quota.set quota eve (Quota.calls limit);
+  let domains = 8 and attempts = 500 in
+  (* 8 * 500 = 4000 attempts against a budget of 1000 *)
+  let successes = Atomic.make 0 in
+  let workers =
+    List.init domains (fun _ ->
+        Sdomain.spawn (fun () ->
+            for _ = 1 to attempts do
+              match Quota.charge_call quota eve with
+              | Ok () -> Atomic.incr successes
+              | Error _ -> ()
+            done))
+  in
+  List.iter Sdomain.join workers;
+  Alcotest.(check int) "exactly the limit is admitted" limit (Atomic.get successes);
+  Alcotest.(check int) "usage equals the limit" limit (Quota.calls_used quota eve)
+
+let test_set_during_charges_loses_nothing () =
+  (* Re-registering while charges are in flight must neither tear the
+     table nor forgive accrued usage: admitted = final used count. *)
+  let quota = Quota.create () in
+  let eve = Principal.individual "eve" in
+  let limit = 10_000 in
+  Quota.set quota eve (Quota.calls limit);
+  let successes = Atomic.make 0 in
+  let chargers =
+    List.init 4 (fun _ ->
+        Sdomain.spawn (fun () ->
+            for _ = 1 to 1_000 do
+              match Quota.charge_call quota eve with
+              | Ok () -> Atomic.incr successes
+              | Error _ -> ()
+            done))
+  in
+  let setter =
+    Sdomain.spawn (fun () ->
+        for _ = 1 to 200 do
+          Quota.set quota eve (Quota.calls limit)
+        done)
+  in
+  List.iter Sdomain.join chargers;
+  Sdomain.join setter;
+  Alcotest.(check int)
+    "every admitted charge is on the counter" (Atomic.get successes)
+    (Quota.calls_used quota eve)
 
 let test_zero_budget () =
   let quota = Quota.create () in
@@ -190,5 +252,9 @@ let suite =
   suite
   @ [
       Alcotest.test_case "limits introspection" `Quick test_limits_introspection;
+      Alcotest.test_case "charge race never exceeds limit" `Quick
+        test_charge_race_never_exceeds_limit;
+      Alcotest.test_case "set during charges loses nothing" `Quick
+        test_set_during_charges_loses_nothing;
       Alcotest.test_case "zero budget" `Quick test_zero_budget;
     ]

@@ -191,6 +191,23 @@ let test_denials_audited () =
   check "no denial for missing name" true (after = before);
   check "grants recorded" true (Audit.granted_total (Reference_monitor.audit monitor) > 0)
 
+(* Regression for the walk-twice [remove]: deleting /a/b used to walk
+   to the parent and then re-resolve the whole target from the root,
+   auditing List on the root twice (5 events).  The single-walk shape
+   checks each ancestor exactly once: List on the root, List on /a,
+   Delete on the victim, and the attach (Write) check on the parent. *)
+let test_remove_single_walk_audit () =
+  let _, monitor, _, r = setup () in
+  let subject = alice_low () in
+  let meta = world_listable alice bottom in
+  let _ = ok "dir" (Resolver.create_dir r ~subject (Path.of_string "/a") ~meta) in
+  let _ = ok "leaf" (Resolver.create_leaf r ~subject (Path.of_string "/a/b") ~meta 1) in
+  let audit = Reference_monitor.audit monitor in
+  let before = List.length (Audit.events audit) in
+  let () = ok "remove" (Resolver.remove r ~subject (Path.of_string "/a/b")) in
+  let after = List.length (Audit.events audit) in
+  Alcotest.(check int) "remove of /a/b audits exactly four checks" 4 (after - before)
+
 let suite =
   [
     Alcotest.test_case "create and resolve" `Quick test_create_and_resolve;
@@ -201,6 +218,7 @@ let suite =
     Alcotest.test_case "create needs parent write" `Quick test_create_requires_parent_write;
     Alcotest.test_case "attach MAC rule" `Quick test_attach_mac_rule;
     Alcotest.test_case "remove needs delete" `Quick test_remove_requires_delete;
+    Alcotest.test_case "remove audits a single walk" `Quick test_remove_single_walk_audit;
     Alcotest.test_case "set_acl" `Quick test_set_acl_via_resolver;
     Alcotest.test_case "audit trail" `Quick test_denials_audited;
   ]
