@@ -459,6 +459,33 @@ let metrics_cmd =
             Scenario.files)
         (Scenario.subjects scenario)
     done;
+    (* Also exercise the capability-handle fast path so the handle.*
+       instruments show up in the snapshot: one handle hammered per
+       round, one policy re-set to force a stale→remint transition,
+       one use-after-close denial at the end. *)
+    let module Kernel = Exsec_extsys.Kernel in
+    let module Service = Exsec_extsys.Service in
+    let module Value = Exsec_extsys.Value in
+    let kernel = scenario.Scenario.kernel in
+    let admin = Kernel.admin_subject kernel in
+    let ping_path = Path.of_string "/svc/ping" in
+    (match
+       Kernel.install_proc kernel ~subject:admin ping_path
+         ~meta:(Kernel.default_meta kernel ~owner:(Subject.principal admin) ())
+         (Service.proc "ping" 0 (Service.const Value.unit))
+     with
+    | Ok () | Error _ -> ());
+    (match Kernel.open_handle kernel ~subject:admin ~caller:"exsecd" ping_path with
+    | Error _ -> ()
+    | Ok handle ->
+      for _round = 1 to 100 * Stdlib.max 1 rounds do
+        ignore (Kernel.call_handle kernel handle [])
+      done;
+      let monitor = Kernel.monitor kernel in
+      Reference_monitor.set_policy monitor (Reference_monitor.policy monitor);
+      ignore (Kernel.call_handle kernel handle []);
+      ignore (Kernel.close_handle kernel handle);
+      ignore (Kernel.call_handle kernel handle []));
     let snap = Metrics.snapshot () in
     if json then print_endline (Metrics.snapshot_to_json snap)
     else begin

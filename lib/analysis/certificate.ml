@@ -21,23 +21,6 @@ type t = {
   proofs : import_proof list;
 }
 
-(* The node sequence a checked resolution of [path] consults: root,
-   every interior node, then the target (Resolver.walk checks List on
-   all but the last; the caller's mode applies to the last). *)
-let chain_nodes namespace path =
-  let rec step node acc = function
-    | [] -> Some (List.rev (node :: acc))
-    | segment :: rest -> (
-      match
-        List.find_opt
-          (fun (name, _) -> String.equal name segment)
-          (Namespace.children node)
-      with
-      | None -> None
-      | Some (_, child) -> step child (node :: acc) rest)
-  in
-  step (Namespace.root namespace) [] (Path.segments path)
-
 let issue ~monitor ~registry ~namespace ?static_class ~extension ~imports () =
   let db = Reference_monitor.db monitor in
   let policy = Reference_monitor.policy monitor in
@@ -45,8 +28,9 @@ let issue ~monitor ~registry ~namespace ?static_class ~extension ~imports () =
      data-then-generation discipline as Decision_cache): a concurrent
      mutation then lands a higher generation than the one recorded
      here, and [admits] rejects. *)
-  let epoch = Reference_monitor.policy_epoch monitor in
-  let db_generation = Principal.Db.generation db in
+  let stamp = Reference_monitor.stamp monitor in
+  let epoch = stamp.Reference_monitor.stamp_epoch in
+  let db_generation = stamp.Reference_monitor.stamp_db_generation in
   let covers =
     List.filter_map
       (fun principal ->
@@ -61,7 +45,7 @@ let issue ~monitor ~registry ~namespace ?static_class ~extension ~imports () =
       (Clearance.registered registry)
   in
   let prove_import import =
-    match chain_nodes namespace import with
+    match Namespace.chain namespace import with
     | None -> { import; verdict = Verdict.Depends; target_id = -1; chain = [] }
     | Some nodes ->
       let chain =

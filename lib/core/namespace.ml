@@ -56,6 +56,23 @@ let mem tree target =
   | Ok _ -> true
   | Error _ -> false
 
+(* The node sequence a checked resolution consults: root, every
+   interior node, then the target — the chain a reusable decision
+   (link-time certificate, capability-handle grant) must stamp with
+   metadata generations. *)
+let chain tree target =
+  let rec walk node acc = function
+    | [] -> Some (List.rev (node :: acc))
+    | segment :: rest -> (
+      match node.kind with
+      | Leaf _ -> None
+      | Dir table -> (
+        match Hashtbl.find_opt table segment with
+        | None -> None
+        | Some child -> walk child (node :: acc) rest))
+  in
+  walk tree.root_node [] (Path.segments target)
+
 let add_node tree target ~meta kind_of_path =
   match Path.parent target, Path.basename target with
   | None, _ | _, None -> Error (Already_exists Path.root)

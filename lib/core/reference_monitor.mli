@@ -65,6 +65,27 @@ val cache_stats : t -> Decision_cache.stats option
     decision cache; [None] when the monitor was created with
     [~cache:false]. *)
 
+type stamp = {
+  stamp_epoch : int;  (** {!policy_epoch} at read time *)
+  stamp_db_generation : int;  (** {!Principal.Db.generation} at read time *)
+}
+(** The global half of the state any reusable decision depends on.
+    Per-object metadata generations are the other half
+    ({!Meta.generation}). *)
+
+val stamp : t -> stamp
+(** Read the global generations, for stamping a decision artifact that
+    will be reused across calls (a link-time certificate, a
+    capability-handle grant).  Call {e before} the dependent
+    computation: a mutation racing with the computation then lands its
+    bump above the recorded values, so the artifact is born stale and
+    fails closed on its next validation instead of wrongly
+    validating. *)
+
+val stamp_valid : t -> stamp -> bool
+(** [true] while neither global generation has moved since the stamp
+    was read. *)
+
 val decide :
   ?span:Exsec_obs.Trace.handle ->
   t -> subject:Subject.t -> meta:Meta.t -> mode:Access_mode.t -> Decision.t

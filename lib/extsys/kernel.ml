@@ -15,12 +15,50 @@ let m_broadcasts = Metrics.counter "kernel.broadcasts"
 let m_spawns = Metrics.counter "kernel.spawns"
 let m_call_ns = Metrics.histogram "kernel.call_ns"
 
+(* Handle-path instruments.  Conservation invariant, relied on by the
+   multi-domain stress suite: handle.calls = handle.hits +
+   handle.stale + handle.use_after_close, exactly — every call_handle
+   bumps the calls counter and then exactly one of the other three.
+   handle.reminted counts the stale calls whose revalidation succeeded
+   and refreshed the slot in place. *)
+let m_handle_opens = Metrics.counter "handle.opens"
+let m_handle_cert_mints = Metrics.counter "handle.cert_mints"
+let m_handle_calls = Metrics.counter "handle.calls"
+let m_handle_hits = Metrics.counter "handle.hits"
+let m_handle_stale = Metrics.counter "handle.stale"
+let m_handle_use_closed = Metrics.counter "handle.use_after_close"
+let m_handle_reminted = Metrics.counter "handle.reminted"
+let m_handle_call_ns = Metrics.histogram "handle.call_ns"
+
 type entry = ..
 
 type entry +=
   | Proc of Service.proc
   | Event
   | Thread_ref of Thread.t
+
+(* A grant is everything [call] would have computed for one
+   (subject, caller, path) triple, captured at mint time: the resolved
+   target (with its invocation context prebuilt, so the hot path
+   allocates nothing), plus the exact generation coordinates the
+   admitting decision consulted — the monitor stamp (policy epoch +
+   principal-database generation) and the per-node [Meta] generation
+   of every node on the resolution chain.  [call_handle] may dispatch
+   without re-entering the reference monitor exactly while all of
+   those still hold; any drift fails closed into the checked path. *)
+type grant_target =
+  | Grant_proc of Service.proc * Service.ctx
+  | Grant_event
+
+type grant = {
+  g_path : Path.t;
+  g_subject : Subject.t;
+  g_caller : string;
+  g_target : grant_target;
+  g_stamp : Reference_monitor.stamp;
+  g_metas : Meta.t array;  (* resolution chain, root first, target last *)
+  g_gens : int array;  (* generation of each, read before the decision *)
+}
 
 type t = {
   monitor : Reference_monitor.t;
@@ -35,6 +73,7 @@ type t = {
   loaded : (string, Extension.t * Path.t list) Hashtbl.t;
   certificates : (string, Exsec_analysis.Certificate.t) Hashtbl.t;
   quota : Quota.t;
+  handles : grant Handle.t;
 }
 
 let monitor kernel = kernel.monitor
@@ -72,11 +111,7 @@ let default_meta kernel ~owner ?klass ?(callable = true) () =
   in
   Meta.make ~owner ~acl klass
 
-let error_of_denial = function
-  | Resolver.Denied { at; mode; denial } ->
-    Service.Denied { at = Path.to_string at; mode; denial }
-  | Resolver.Name_error error ->
-    Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error)
+let error_of_denial = Service.error_of_denial
 
 let boot ?policy ?audit_capacity ?audit_shards ?cache ?cache_capacity ?registry ~db
     ~admin ~hierarchy ~universe () =
@@ -104,6 +139,7 @@ let boot ?policy ?audit_capacity ?audit_shards ?cache ?cache_capacity ?registry 
       loaded = Hashtbl.create 8;
       certificates = Hashtbl.create 8;
       quota = Quota.create ();
+      handles = Handle.create ();
     }
   in
   let admin_sub = admin_subject kernel in
@@ -305,6 +341,209 @@ and broadcast_uncharged ~checked kernel ~subject path args =
            handlers)
     | Some _ | None -> Error (Service.Unresolved (Path.to_string path ^ ": not an event")))
 
+(* {1 Capability handles}
+
+   [open_handle] runs the full checked resolution once (or reuses a
+   still-valid link-time certificate) and files the resulting grant in
+   the kernel's handle table.  [call_handle] is then the hot path: one
+   bounds-checked slot probe, one stamp compare, a generation sweep
+   over the recorded chain, dispatch — no path walk, no hashing, no
+   monitor entry and no allocation on the granted path.  Any drift —
+   policy epoch, principal database, or any [Meta] on the chain —
+   fails closed into a fully checked re-resolution that re-mints the
+   slot in place when it still admits the access. *)
+
+(* Top-level (not a local closure) so the hot path stays allocation
+   free: a local [let rec] would capture the arrays in a heap-allocated
+   closure on every call. *)
+let rec chain_fresh metas gens n i =
+  i >= n
+  || Meta.generation (Array.unsafe_get metas i) = Array.unsafe_get gens i
+     && chain_fresh metas gens n (i + 1)
+
+let grant_fresh kernel g =
+  Reference_monitor.stamp_valid kernel.monitor g.g_stamp
+  && chain_fresh g.g_metas g.g_gens (Array.length g.g_metas) 0
+
+(* Preallocated so the use-after-close refusal is itself allocation
+   free.  A closed handle denotes no object at all, which is exactly
+   [Not_an_object]; the oracle never compares this against a path call
+   because a path has no notion of closure. *)
+let closed_handle_error :
+    (Value.t, Service.error) result =
+  Error
+    (Service.Denied
+       { at = "<handle>"; mode = Access_mode.Execute; denial = Decision.Not_an_object })
+
+let run_grant_proc proc ctx args =
+  match Service.check_arity proc args with
+  | Error e -> Error e
+  | Ok () -> (
+    try proc.Service.impl ctx args with
+    | Value.Type_error message -> Error (Service.Bad_argument message)
+    | Failure message -> Error (Service.Ext_failure message))
+
+(* The pre-read half of a mint: the monitor stamp and the generation
+   of every node on the unchecked chain, captured BEFORE the decision
+   runs.  A mutation racing with the decision then lands a higher
+   generation than the one the grant was filed under, so the grant is
+   born stale rather than wrongly durable (same discipline as the
+   decision cache and compiled-ACL memo). *)
+let chain_snapshot kernel path =
+  let stamp = Reference_monitor.stamp kernel.monitor in
+  match Namespace.chain (namespace kernel) path with
+  | None -> stamp, [||], [||]
+  | Some nodes ->
+    let metas = Array.of_list (List.map Namespace.meta nodes) in
+    stamp, metas, Array.map Meta.generation metas
+
+let grant_target_of_payload kernel ~subject ~caller ~reuse_ctx = function
+  | Some (Proc proc) ->
+    let ctx =
+      match reuse_ctx with
+      | Some ctx -> ctx
+      | None -> make_ctx kernel ~subject ~caller
+    in
+    Some (Grant_proc (proc, ctx))
+  | Some Event -> Some Grant_event
+  | Some _ | None -> None
+
+let rec open_handle kernel ~subject ~caller path =
+  Metrics.incr m_handle_opens;
+  let stamp, metas, gens = chain_snapshot kernel path in
+  let target_id =
+    let n = Array.length metas in
+    if n = 0 then -1 else metas.(n - 1).Meta.id
+  in
+  let admitted =
+    if Array.length metas > 0 && certificate_admits kernel ~caller ~subject path
+    then begin
+      (* The certificate's own validation just re-proved every
+         generation it consulted; our pre-reads happened before that
+         check and generations are monotone, so the snapshot is
+         consistent with the admitting proof. *)
+      Metrics.incr m_handle_cert_mints;
+      `Admitted (Namespace.find (namespace kernel) path)
+    end
+    else
+      match Resolver.resolve kernel.resolver ~subject ~mode:Access_mode.Execute path with
+      | Ok node -> `Admitted (Ok node)
+      | Error denial -> `Denied denial
+  in
+  match admitted with
+  | `Denied denial -> Error (Service.error_of_denial denial)
+  | `Admitted (Error error) ->
+    Error (Service.Unresolved (Format.asprintf "%a" Namespace.pp_error error))
+  | `Admitted (Ok node) ->
+    if (Namespace.meta node).Meta.id <> target_id then
+      (* The target changed identity between the snapshot and the
+         decision (delete + recreate race): the snapshot does not
+         describe the node the decision admitted.  Start over. *)
+      open_handle kernel ~subject ~caller path
+    else (
+      match
+        grant_target_of_payload kernel ~subject ~caller ~reuse_ctx:None
+          (Namespace.payload node)
+      with
+      | None -> Error (Service.Unresolved (Path.to_string path ^ ": not callable"))
+      | Some g_target ->
+        Ok
+          (Handle.mint kernel.handles
+             { g_path = path; g_subject = subject; g_caller = caller; g_target;
+               g_stamp = stamp; g_metas = metas; g_gens = gens }))
+
+(* Stale slow path: re-run the fully checked resolution (audited,
+   cached) under a fresh pre-read snapshot; serve THIS call from the
+   checked decision either way, and refresh the slot in place when the
+   snapshot describes the node the decision admitted. *)
+let call_handle_stale kernel h g args =
+  let stamp, metas, gens = chain_snapshot kernel g.g_path in
+  match
+    Resolver.resolve kernel.resolver ~subject:g.g_subject ~mode:Access_mode.Execute
+      g.g_path
+  with
+  | Error denial -> Error (Service.error_of_denial denial)
+  | Ok node -> (
+    let reuse_ctx =
+      match g.g_target with Grant_proc (_, ctx) -> Some ctx | Grant_event -> None
+    in
+    match
+      grant_target_of_payload kernel ~subject:g.g_subject ~caller:g.g_caller
+        ~reuse_ctx (Namespace.payload node)
+    with
+    | None -> Error (Service.Unresolved (Path.to_string g.g_path ^ ": not callable"))
+    | Some g_target ->
+      let n = Array.length metas in
+      if n > 0 && metas.(n - 1).Meta.id = (Namespace.meta node).Meta.id then
+        if
+          Handle.update kernel.handles h
+            { g with g_target; g_stamp = stamp; g_metas = metas; g_gens = gens }
+        then Metrics.incr m_handle_reminted;
+      (match g_target with
+      | Grant_proc (proc, ctx) -> run_grant_proc proc ctx args
+      | Grant_event ->
+        dispatch_event kernel ~subject:g.g_subject ~caller:g.g_caller g.g_path args))
+
+let call_handle kernel h args =
+  Metrics.incr m_handle_calls;
+  let t0 = Metrics.start_timing m_handle_call_ns in
+  let result =
+    match Handle.deref kernel.handles h with
+    | None ->
+      Metrics.incr m_handle_use_closed;
+      closed_handle_error
+    | Some g ->
+      if grant_fresh kernel g then begin
+        Metrics.incr m_handle_hits;
+        match Quota.charge_call kernel.quota (Subject.principal g.g_subject) with
+        | Error denial ->
+          Metrics.incr m_quota_denied;
+          Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+        | Ok () -> (
+          match g.g_target with
+          | Grant_proc (proc, ctx) -> run_grant_proc proc ctx args
+          | Grant_event ->
+            dispatch_event kernel ~subject:g.g_subject ~caller:g.g_caller g.g_path args)
+      end
+      else begin
+        Metrics.incr m_handle_stale;
+        match Quota.charge_call kernel.quota (Subject.principal g.g_subject) with
+        | Error denial ->
+          Metrics.incr m_quota_denied;
+          Error (Service.Quota_exceeded (Format.asprintf "%a" Quota.pp_denial denial))
+        | Ok () -> call_handle_stale kernel h g args
+      end
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error _ -> Metrics.incr m_call_errors);
+  Metrics.stop_timing m_handle_call_ns t0;
+  result
+
+let close_handle kernel h =
+  match Handle.close kernel.handles h with Some _ -> true | None -> false
+
+let close_handles_for kernel caller =
+  Handle.close_where kernel.handles (fun g -> String.equal g.g_caller caller)
+
+let handle_stats kernel = Handle.stats kernel.handles
+
+let handle_target kernel h =
+  match Handle.deref kernel.handles h with
+  | Some g -> Some g.g_path
+  | None -> None
+
+let live_handles kernel =
+  let acc = ref [] in
+  Handle.iter kernel.handles (fun h g ->
+      acc :=
+        ( Handle.index h,
+          Path.to_string g.g_path,
+          g.g_caller,
+          Principal.individual_name (Subject.principal g.g_subject) )
+        :: !acc);
+  List.rev !acc
+
 (* {1 Threads} *)
 
 let thread_path id = Path.of_string (Printf.sprintf "/threads/t%d" id)
@@ -369,7 +608,11 @@ let note_loaded kernel extension ~installed =
 
 let forget_loaded kernel name =
   Hashtbl.remove kernel.loaded name;
-  Hashtbl.remove kernel.certificates name
+  Hashtbl.remove kernel.certificates name;
+  (* Capability revocation: every handle the extension held dies with
+     it — a recycled slot can never satisfy the old handle (stamp
+     mismatch), so use-after-unload is a deterministic denial. *)
+  ignore (close_handles_for kernel name)
 
 let find_loaded kernel name = Hashtbl.find_opt kernel.loaded name
 

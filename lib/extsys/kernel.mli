@@ -144,6 +144,62 @@ val broadcast :
 
 val make_ctx : t -> subject:Subject.t -> caller:string -> Service.ctx
 
+(** {1 Capability handles}
+
+    The handle fast path: {!open_handle} pays for one fully checked
+    resolution (or reuses a still-valid link-time certificate) and
+    returns a dense, unforgeable handle pinning the admitted target
+    together with every generation coordinate the decision consulted —
+    policy epoch, principal-database generation, and the [Meta]
+    generation of each node on the resolution chain.  {!call_handle}
+    then dispatches with a bounds-checked slot probe plus a generation
+    sweep: no path walk, no hashing, no monitor entry, and zero
+    allocation on the granted path.  {e Any} drift — [set_policy],
+    group membership, an ACL or class edit anywhere on the chain —
+    fails closed into a fully checked, audited re-resolution, which
+    re-mints the slot in place when the access is still admitted.  A
+    closed handle (or one whose slot was recycled by a later mint)
+    never grants: the stamp compare turns it into a deterministic
+    denial. *)
+
+val open_handle :
+  t -> subject:Subject.t -> caller:string -> Path.t ->
+  (Handle.h, Service.error) result
+(** Resolve [path] for [Execute] under the full reference-monitor
+    check (audited exactly like {!call}) and mint a handle for the
+    grant.  Refuses — with the same error {!call} would produce — when
+    the access is denied or the target is not callable.  Does not
+    charge the invocation quota; each {!call_handle} does. *)
+
+val call_handle :
+  t -> Handle.h -> Value.t list -> (Value.t, Service.error) result
+(** Invoke through a handle.  Equivalent to {!call} on the handle's
+    path under the handle's subject — the differential oracle in the
+    test suite holds the two paths to identical results, audit
+    verdicts included — but dispatching without monitor work while the
+    grant's generation coordinates still hold.  A closed or recycled
+    handle answers [Denied] with {!Decision.Not_an_object}. *)
+
+val close_handle : t -> Handle.h -> bool
+(** Retire the handle; [false] when it was already closed.  Closing is
+    idempotent and immediate: no later {!call_handle} through this
+    handle can grant, even after the slot is reused. *)
+
+val close_handles_for : t -> string -> int
+(** Close every handle minted for the named caller (capability
+    revocation on unload); returns the number closed.
+    {!forget_loaded} calls this. *)
+
+val handle_stats : t -> Handle.stats
+
+val handle_target : t -> Handle.h -> Path.t option
+(** The path a live handle pins, for introspection; [None] once
+    closed. *)
+
+val live_handles : t -> (int * string * string * string) list
+(** Introspection snapshot of live handles:
+    [(slot, path, caller, principal)]. *)
+
 (** {1 Threads} *)
 
 val spawn :

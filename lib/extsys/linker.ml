@@ -29,7 +29,10 @@ module Linked = struct
   type t = {
     kernel : Kernel.t;
     extension : Extension.t;
-    import_table : (Path.t * Kernel.entry Namespace.node) list;
+    import_table : (Path.t * Handle.h) list;
+        (* each import is minted as a capability handle at link time;
+           the handle pins the link-time (capped) subject, so calls
+           through it are exactly the access the link authorized *)
     provided_paths : Path.t list;
     certificate : Exsec_analysis.Certificate.t option;
   }
@@ -49,22 +52,31 @@ module Linked = struct
     match List.find_opt (fun (p, _) -> Path.equal p path) linked.import_table with
     | None ->
       Error (Service.Unresolved (Path.to_string path ^ ": not in the import table"))
-    | Some (_, _node) ->
+    | Some (_, _handle) ->
       let subject = subject_for linked subject in
       let checked = (Reference_monitor.policy (Kernel.monitor linked.kernel)).Policy.recheck_calls in
       Kernel.call ~checked linked.kernel ~subject
         ~caller:linked.extension.Extension.ext_name path args
+
+  let import_handle linked path =
+    Option.map snd
+      (List.find_opt (fun (p, _) -> Path.equal p path) linked.import_table)
+
+  let call_import linked path args =
+    match List.find_opt (fun (p, _) -> Path.equal p path) linked.import_table with
+    | None ->
+      Error (Service.Unresolved (Path.to_string path ^ ": not in the import table"))
+    | Some (_, handle) -> Kernel.call_handle linked.kernel handle args
 end
 
 let ext_dir name = Path.of_string ("/ext/" ^ name)
 
-(* Resolve one import with [Execute]; the subject is already capped by
-   the extension's static class. *)
-let check_import kernel ~subject import =
-  match Resolver.resolve (Kernel.resolver kernel) ~subject ~mode:Access_mode.Execute import with
-  | Ok node -> Ok (import, node)
-  | Error denial ->
-    Error (Import_denied { import; error = Kernel.error_of_denial denial })
+(* Resolve one import with [Execute] and mint its capability handle;
+   the subject is already capped by the extension's static class. *)
+let check_import kernel ~subject ~caller import =
+  match Kernel.open_handle kernel ~subject ~caller import with
+  | Ok handle -> Ok (import, handle)
+  | Error error -> Error (Import_denied { import; error })
 
 let check_extend kernel ~subject (ext : Extension.extends) =
   match
@@ -220,11 +232,15 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
     let all_imports =
       List.sort_uniq Path.compare (extension.Extension.imports @ domain_imports)
     in
+    (* From here on failures must also revoke any import handles
+       already minted for this extension — linking stays transactional
+       for capabilities too. *)
+    let result =
     let* import_table =
       List.fold_left
         (fun acc import ->
           let* table = acc in
-          let* entry = check_import kernel ~subject:capped import in
+          let* entry = check_import kernel ~subject:capped ~caller:name import in
           Ok (entry :: table))
         (Ok []) all_imports
       |> Result.map List.rev
@@ -268,6 +284,11 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
         Dispatcher.unregister_owner (Kernel.dispatcher kernel) name;
         rollback kernel (List.rev installed);
         Error (Init_failed error))
+    in
+    (match result with
+    | Ok _ -> ()
+    | Error _ -> ignore (Kernel.close_handles_for kernel name));
+    result
   end)
 
 let link kernel ~subject extension =

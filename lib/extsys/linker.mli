@@ -66,6 +66,20 @@ module Linked : sig
       in the import table are callable — an extension cannot name
       what it was not linked against.  The extension's static class
       caps the subject for the duration of the call. *)
+
+  val import_handle : t -> Path.t -> Handle.h option
+  (** The capability handle minted for this import at link time, if
+      the path is in the import table. *)
+
+  val call_import :
+    t -> Path.t -> Value.t list -> (Value.t, Service.error) result
+  (** Call an imported procedure through its link-time capability
+      handle ({!Kernel.call_handle}): the hot path.  Unlike {!call},
+      the subject is the {e link-time} (capped) subject baked into the
+      grant — capability semantics — and the dispatch skips all
+      monitor work while the grant's generation coordinates hold,
+      failing closed into the checked path on any drift.  Unloading
+      the extension closes every import handle. *)
 end
 
 val link :

@@ -23,6 +23,18 @@ let pp_error ppf = function
 
 let error_to_string error = Format.asprintf "%a" pp_error error
 
+(* THE mapping from resolver refusals to service errors.  Every layer
+   that surfaces a resolution failure to an extension (kernel calls,
+   handle minting, the linker, file-system services) must route
+   through here so a given [Resolver.denial] always surfaces as the
+   same [error] — the differential handle/path oracle depends on
+   that determinism. *)
+let error_of_denial = function
+  | Resolver.Denied { at; mode; denial } ->
+    Denied { at = Path.to_string at; mode; denial }
+  | Resolver.Name_error error ->
+    Unresolved (Format.asprintf "%a" Namespace.pp_error error)
+
 type ctx = {
   subject : Subject.t;
   caller : string;

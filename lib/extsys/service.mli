@@ -23,6 +23,16 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+val error_of_denial : Resolver.denial -> error
+(** The one canonical mapping from a resolver refusal to a service
+    error: [Denied] carries the denial verbatim with the path rendered,
+    [Name_error] becomes [Unresolved] with the namespace error
+    rendered.  Every call site that surfaces a resolution failure — the
+    kernel's path and handle call paths, the linker, the installed
+    services — must use this mapping, so a given refusal is always
+    observed as the same error regardless of which invocation path met
+    it. *)
+
 type ctx = {
   subject : Subject.t;  (** the thread of control, effective class included *)
   caller : string;  (** name of the calling code unit *)

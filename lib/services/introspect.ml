@@ -40,6 +40,29 @@ let audit_tail_impl kernel _ctx args =
 let namespace_size_impl kernel _ctx _args =
   Ok (Value.int (Namespace.size (Kernel.namespace kernel)))
 
+let handle_stats_impl kernel _ctx _args =
+  let stats = Kernel.handle_stats kernel in
+  let counter name value = Value.pair (Value.str name) (Value.int value) in
+  Ok
+    (Value.list
+       [
+         counter "capacity" stats.Handle.hs_capacity;
+         counter "live" stats.Handle.hs_live;
+         counter "mints" stats.Handle.hs_mints;
+         counter "closes" stats.Handle.hs_closes;
+       ])
+
+let handles_impl kernel _ctx _args =
+  (* One line per live handle: which slot pins which path, minted for
+     which extension, bound to which principal.  Classified like the
+     audit tail — the table describes everyone's access. *)
+  Ok
+    (Value.list
+       (List.map
+          (fun (slot, path, caller, principal) ->
+            Value.str (Printf.sprintf "#%d %s caller=%s principal=%s" slot path caller principal))
+          (Kernel.live_handles kernel)))
+
 let cache_stats_impl kernel _ctx _args =
   match Kernel.cache_stats kernel with
   | None -> Ok (Value.list [])
@@ -116,6 +139,8 @@ let install kernel ~subject =
   let* () = install "audit_tail" (-1) (audit_meta ()) (audit_tail_impl kernel) in
   let* () = install "namespace_size" 0 (open_meta ()) (namespace_size_impl kernel) in
   let* () = install "cache_stats" 0 (open_meta ()) (cache_stats_impl kernel) in
+  let* () = install "handle_stats" 0 (open_meta ()) (handle_stats_impl kernel) in
+  let* () = install "handles" 0 (audit_meta ()) (handles_impl kernel) in
   let* () = install "metrics" 0 (open_meta ()) (metrics_impl kernel) in
   (* Traces carry paths and subjects of everyone's calls — classified
      like the audit tail. *)

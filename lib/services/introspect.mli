@@ -19,6 +19,11 @@
     - [cache_stats : () -> list (pair str int)]  decision-cache counters
       (hits, misses, evictions, invalidations, size, capacity; the
       empty list when the monitor runs uncached)
+    - [handle_stats : () -> list (pair str int)]  capability-handle
+      table counters (capacity, live, mints, closes)
+    - [handles : () -> list str]          one line per live handle —
+      slot, pinned path, owning caller, bound principal (classified
+      like [audit_tail]: the table describes everyone's access)
     - [metrics : () -> list (pair str int)]  the whole [Exsec_obs]
       registry: counters and gauges verbatim, histograms flattened to
       [<name>.count]/[.sum_ns]/[.p50_ns]/[.p95_ns]/[.p99_ns], plus an

@@ -18,6 +18,10 @@ type world = {
   subjects : Subject.t array;  (* one fixed-class session per principal *)
   admin_sub : Subject.t;  (* trusted; its protection mutations succeed *)
   fuzzers : Principal.group;  (* churned and named in fuzzed ACLs *)
+  handles : Handle.h option array;
+      (* a small pool of capability handles fuzzed open/call/close;
+         a slot may deliberately keep a closed handle around so later
+         calls soak the use-after-close and recycled-slot paths *)
   rng : Prng.t;
 }
 
@@ -46,7 +50,7 @@ let build_world ~seed =
   in
   let fuzzers = Principal.group "fuzzers" in
   Principal.Db.add_member db fuzzers (Principal.Ind (Principal.individual "fuzz0"));
-  { kernel; fs; db; subjects; admin_sub; fuzzers; rng }
+  { kernel; fs; db; subjects; admin_sub; fuzzers; handles = Array.make 8 None; rng }
 
 (* Policy flips stay among the MAC-preserving variants: every one of
    these enforces no-read-up and no-write-down, so the flow-cleanliness
@@ -65,7 +69,7 @@ let safe_policies =
 let random_op world step =
   let subject = world.subjects.(Prng.int world.rng (Array.length world.subjects)) in
   let name = Printf.sprintf "f%d" (Prng.int world.rng 12) in
-  match Prng.int world.rng 12 with
+  match Prng.int world.rng 16 with
   | 0 -> ignore (Memfs.create world.fs ~subject name "contents")
   | 1 -> ignore (Memfs.read world.fs ~subject name)
   | 2 -> ignore (Memfs.write world.fs ~subject name (Printf.sprintf "v%d" step))
@@ -125,7 +129,7 @@ let random_op world step =
     if Prng.bool world.rng then
       Principal.Db.add_member world.db world.fuzzers (Principal.Ind ind)
     else Principal.Db.remove_member world.db world.fuzzers (Principal.Ind ind)
-  | _ ->
+  | 11 ->
     (* Owner-driven ACL mutation through the checked monitor entry
        point (no resolver traversal): direct set_acl on the file's
        metadata if it resolves. *)
@@ -138,6 +142,39 @@ let random_op world step =
            ~object_name:(Printf.sprintf "/fs/%s" name)
            (Acl.of_entries [ Acl.allow_all Acl.Everyone ]))
     | Error _ -> ())
+  | 12 | 13 ->
+    (* Open a capability handle into a pool slot — sometimes on a
+       callable proc, sometimes on a plain file (refused as not
+       callable); an occupied slot is closed first, so slot reuse is
+       constantly exercised. *)
+    let slot = Prng.int world.rng (Array.length world.handles) in
+    (match world.handles.(slot) with
+    | Some h -> ignore (Kernel.close_handle world.kernel h)
+    | None -> ());
+    let path =
+      if Prng.bool world.rng then Path.of_string "/svc/fs/read"
+      else Path.of_string (Printf.sprintf "/fs/%s" name)
+    in
+    (match Kernel.open_handle world.kernel ~subject ~caller:"fuzz" path with
+    | Ok h -> world.handles.(slot) <- Some h
+    | Error _ -> world.handles.(slot) <- None)
+  | 14 -> (
+    (* Call through a pooled handle; the slot may hold a live handle
+       (fast or stale-revalidated path), or a deliberately retained
+       closed one (use-after-close denial).  Outcomes are free to vary
+       — concurrent fuzz ops mutate ACLs, policy and membership. *)
+    match world.handles.(Prng.int world.rng (Array.length world.handles)) with
+    | Some h -> ignore (Kernel.call_handle world.kernel h [ Value.str name ])
+    | None -> ())
+  | _ -> (
+    (* Close a pooled handle; half the time the dead handle stays in
+       the slot so later calls soak the stale-reuse path. *)
+    let slot = Prng.int world.rng (Array.length world.handles) in
+    match world.handles.(slot) with
+    | Some h ->
+      ignore (Kernel.close_handle world.kernel h);
+      if Prng.bool world.rng then world.handles.(slot) <- None
+    | None -> ())
 
 let soak ~seed ~steps =
   let world = build_world ~seed in

@@ -156,6 +156,157 @@ let test_stress_readers_vs_mutator () =
     "audit granted + denied = checks" total_checks
     (Audit.granted_total audit + Audit.denied_total audit)
 
+(* {1 Capability handles under parallel callers and a mutator}
+
+   Four caller domains hammer [Kernel.call_handle] over a pool of
+   pinned handles while a mutator flips proc ACLs and bumps the policy
+   epoch.  Invariants:
+
+   - revocation barrier: the mutator revokes [Execute] on the barrier
+     proc {e before} publishing the round number, so every caller's
+     next handle call on the barrier — observed strictly inside the
+     deny window — must refuse; a grant would be a stale generation
+     snapshot surviving a revocation;
+   - counter conservation: handle.calls = handle.hits + handle.stale +
+     handle.use_after_close, exactly, across all domains;
+   - the churn actually exercised the fallback: stale revalidations
+     and in-place re-mints both occurred. *)
+
+let callers = 4
+let handle_rounds = 30
+
+let counter_of snap name =
+  match List.assoc_opt name snap.Exsec_obs.Metrics.counters with
+  | Some value -> value
+  | None -> 0
+
+let test_handle_callers_vs_mutator () =
+  let module Kernel = Exsec_extsys.Kernel in
+  let module Service = Exsec_extsys.Service in
+  let module Value = Exsec_extsys.Value in
+  let module Metrics = Exsec_obs.Metrics in
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  Principal.Db.add_individual db admin;
+  let caller_inds =
+    Array.init callers (fun i -> Principal.individual (Printf.sprintf "caller%d" i))
+  in
+  Array.iter (Principal.Db.add_individual db) caller_inds;
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let bottom = Security_class.bottom hierarchy universe in
+  let kernel = Kernel.boot ~db ~admin ~hierarchy ~universe () in
+  let admin_sub = Kernel.admin_subject kernel in
+  let open_acl () =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual admin);
+        Acl.allow Acl.Everyone [ Access_mode.List; Access_mode.Execute ];
+      ]
+  in
+  let list_only_acl () =
+    Acl.of_entries
+      [ Acl.allow_all (Acl.Individual admin); Acl.allow Acl.Everyone [ Access_mode.List ] ]
+  in
+  let deny_exec_acl () =
+    Acl.of_entries
+      [
+        Acl.allow_all (Acl.Individual admin);
+        Acl.deny Acl.Everyone [ Access_mode.Execute ];
+        Acl.allow Acl.Everyone [ Access_mode.List ];
+      ]
+  in
+  let n_procs = 8 in
+  let proc_paths =
+    Array.init n_procs (fun i -> Path.of_string (Printf.sprintf "/svc/p%d" i))
+  in
+  let install path meta proc_value =
+    match
+      Kernel.install_proc kernel ~subject:admin_sub path ~meta
+        (Exsec_extsys.Service.proc "p" 0 (Service.const proc_value))
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Service.error_to_string e)
+  in
+  let proc_metas =
+    Array.init n_procs (fun i ->
+        let meta = Meta.make ~owner:admin ~acl:(open_acl ()) bottom in
+        install proc_paths.(i) meta (Value.int i);
+        meta)
+  in
+  let barrier_path = Path.of_string "/svc/barrier" in
+  let barrier_meta = Meta.make ~owner:admin ~acl:(open_acl ()) bottom in
+  install barrier_path barrier_meta Value.unit;
+  let barrier_round = Atomic.make 0 in
+  let acks = Array.init callers (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  Metrics.set_enabled true;
+  let before = Metrics.snapshot () in
+  let run_caller i =
+    let subject = Subject.make caller_inds.(i) bottom in
+    let open_h path =
+      match Kernel.open_handle kernel ~subject ~caller:"stress" path with
+      | Ok h -> h
+      | Error e -> failwith (Service.error_to_string e)
+    in
+    let handles = Array.map open_h proc_paths in
+    let barrier_h = open_h barrier_path in
+    let stale_grants = ref 0 in
+    let my_ack = ref 0 in
+    let pos = ref 0 in
+    while not (Atomic.get stop) do
+      ignore (Kernel.call_handle kernel handles.(!pos land (n_procs - 1)) []);
+      incr pos;
+      let round = Atomic.get barrier_round in
+      if round > !my_ack then begin
+        (* Inside the deny window: the handle's generation snapshot
+           predates the revocation, so this call must fall into the
+           checked path and refuse. *)
+        (match Kernel.call_handle kernel barrier_h [] with
+        | Ok _ -> incr stale_grants
+        | Error _ -> ());
+        my_ack := round;
+        Atomic.set acks.(i) round
+      end
+    done;
+    !stale_grants
+  in
+  let run_mutator () =
+    let policies = [| Policy.default; Policy.with_recheck Policy.default |] in
+    for round = 1 to handle_rounds do
+      for m = 0 to n_procs - 1 do
+        Meta.set_acl_raw proc_metas.(m)
+          (if (round + m) land 1 = 0 then open_acl () else list_only_acl ())
+      done;
+      Reference_monitor.set_policy (Kernel.monitor kernel) policies.(round land 1);
+      (* Revoke first, publish the round after: a caller that observes
+         the round number observes the revocation too. *)
+      Meta.set_acl_raw barrier_meta (deny_exec_acl ());
+      Atomic.set barrier_round round;
+      while Array.exists (fun ack -> Atomic.get ack < round) acks do
+        Domain.cpu_relax ()
+      done;
+      Meta.set_acl_raw barrier_meta (open_acl ())
+    done;
+    Atomic.set stop true
+  in
+  let caller_handles = List.init callers (fun i -> Domain.spawn (fun () -> run_caller i)) in
+  let mutator_handle = Domain.spawn run_mutator in
+  let stale = List.fold_left (fun acc h -> acc + Domain.join h) 0 caller_handles in
+  Domain.join mutator_handle;
+  let after = Metrics.snapshot () in
+  Metrics.set_enabled false;
+  let delta name = counter_of after name - counter_of before name in
+  Alcotest.(check int) "no grant crossed the revocation barrier" 0 stale;
+  check "every caller saw every round" true
+    (Array.for_all (fun ack -> Atomic.get ack = handle_rounds) acks);
+  Alcotest.(check int)
+    "handle.calls = hits + stale + use_after_close"
+    (delta "handle.calls")
+    (delta "handle.hits" + delta "handle.stale" + delta "handle.use_after_close");
+  check "stale revalidations occurred" true (delta "handle.stale" > 0);
+  check "in-place re-mints occurred" true (delta "handle.reminted" > 0)
+
 (* {1 Atomic identity allocation} *)
 
 let test_fresh_ids_unique_across_domains () =
@@ -214,6 +365,8 @@ let test_audit_totals_parallel () =
 let suite =
   [
     Alcotest.test_case "stress: readers vs mutator" `Quick test_stress_readers_vs_mutator;
+    Alcotest.test_case "stress: handle callers vs mutator" `Quick
+      test_handle_callers_vs_mutator;
     Alcotest.test_case "fresh ids unique across domains" `Quick
       test_fresh_ids_unique_across_domains;
     Alcotest.test_case "audit totals conserved across domains" `Quick
