@@ -31,6 +31,8 @@ let experiments =
     "a10", "ablation: capability-handle dispatch vs certified/cached/uncached", Ablations.a10;
     "s1", "decide throughput vs domains: uncached / single-lock / sharded", Scaling.s1;
     "s1q", "s1 smoke: 1-2 domains, short streams", Scaling.s1q;
+    "s2", "end-to-end served RPS vs client domains (loopback)", Scaling.s2;
+    "s2q", "s2 smoke: 1-2 clients, short", Scaling.s2q;
   ]
 
 let list_experiments () =
@@ -40,7 +42,13 @@ let list_experiments () =
 
 let run_one id =
   match List.find_opt (fun (name, _, _) -> String.equal name id) experiments with
-  | Some (_, _, run) -> run ()
+  | Some (_, _, run) -> (
+    (* A refused scenario setup step names itself instead of tearing
+       the whole driver down mid-sweep. *)
+    try run ()
+    with Exsec_workload.Scenario.Step_failed _ as failure ->
+      Format.printf "experiment %s aborted, setup step refused: %s@." id
+        (Exsec_workload.Scenario.failure_to_string failure))
   | None ->
     Format.printf "unknown experiment %S@." id;
     list_experiments ();

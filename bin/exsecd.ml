@@ -17,7 +17,11 @@ open Exsec_workload
 
 let scenario_cmd =
   let run verbose =
-    let scenario = Scenario.build () in
+    match Scenario.build_checked () with
+    | Error label ->
+      Format.printf "scenario setup refused: %s@." label;
+      1
+    | Ok scenario ->
     Format.printf "subjects:@.";
     List.iter
       (fun (name, subject) -> Format.printf "  %-8s %a@." name Subject.pp subject)
@@ -449,7 +453,11 @@ let metrics_cmd =
        command's workload. *)
     Metrics.set_enabled true;
     if trace then Trace.set_enabled true;
-    let scenario = Scenario.build () in
+    match Scenario.build_checked () with
+    | Error label ->
+      Format.printf "scenario setup refused: %s@." label;
+      1
+    | Ok scenario ->
     for _round = 1 to Stdlib.max 1 rounds do
       List.iter
         (fun (name, _) ->
@@ -515,6 +523,230 @@ let metrics_cmd =
           metrics registry: call/decision/cache/audit counters and latency percentiles")
     Term.(const run $ json $ trace $ rounds)
 
+(* {1 serve: the request front end} *)
+
+let serve_cmd =
+  let module Kernel = Exsec_extsys.Kernel in
+  let module Quota = Exsec_extsys.Quota in
+  let module Value = Exsec_extsys.Value in
+  let module Wire = Exsec_serve.Wire in
+  let module Transport = Exsec_serve.Transport in
+  let module Server = Exsec_serve.Server in
+  let module Metrics = Exsec_obs.Metrics in
+  let user_creds =
+    {
+      Wire.principal = "user";
+      secret = None;
+      level = Some "local";
+      categories = Scenario.categories;
+    }
+  in
+  let rpc conn request =
+    conn.Transport.send (Wire.encode_request request);
+    match conn.Transport.recv () with
+    | None -> Error "connection closed"
+    | Some frame -> Wire.decode_response frame
+  in
+  (* The scripted smoke conversation CI runs: authentication both
+     ways, a granted read, a MAC denial crossing the wire, and quota
+     backpressure that leaves the connection usable. *)
+  let self_test () =
+    Metrics.set_enabled true;
+    match Scenario.build_checked () with
+    | Error label ->
+      Format.printf "scenario setup refused: %s@." label;
+      1
+    | Ok scenario ->
+      let kernel = scenario.Scenario.kernel in
+      (match
+         Exsec_services.Memfs.install_service scenario.Scenario.fs
+           ~subject:(Kernel.admin_subject kernel)
+       with
+      | Ok () -> ()
+      | Error e ->
+        Format.printf "install /svc/fs: %s@." (Exsec_extsys.Service.error_to_string e));
+      Quota.set (Kernel.quota kernel) (Principal.individual "user") (Quota.calls 3);
+      let endpoint = Transport.Loopback.create () in
+      let server = Server.create ~workers:2 kernel (Transport.Loopback.transport endpoint) in
+      Server.start server;
+      let failures = ref 0 in
+      let check label ok detail =
+        Format.printf "  %-42s %s%s@." label
+          (if ok then "ok" else "FAIL")
+          (if ok then "" else " (" ^ detail ^ ")");
+        if not ok then incr failures
+      in
+      let body_of = function
+        | Ok { Wire.body; _ } -> body
+        | Error reason -> Wire.Error (Wire.Protocol ("client: " ^ reason))
+      in
+      let show body = Format.asprintf "%a" Wire.pp_body body in
+      (* An unknown principal is refused at hello. *)
+      let ghost = Transport.Loopback.connect endpoint in
+      let body =
+        body_of
+          (rpc ghost
+             (Wire.Hello
+                { seq = 1; creds = { user_creds with Wire.principal = "nobody" } }))
+      in
+      check "hello as unregistered principal refused"
+        (match body with Wire.Error (Wire.Auth_failed _) -> true | _ -> false)
+        (show body);
+      ghost.Transport.close ();
+      (* The outside applet authenticates but the monitor denies it the
+         user's local file; the denial crosses the wire typed. *)
+      let outside = Transport.Loopback.connect endpoint in
+      let body =
+        body_of
+          (rpc outside
+             (Wire.Hello
+                {
+                  seq = 1;
+                  creds =
+                    {
+                      Wire.principal = "applet-outside";
+                      secret = None;
+                      level = Some "others";
+                      categories = [ "outside" ];
+                    };
+                }))
+      in
+      check "hello as applet-outside granted"
+        (match body with Wire.Hello_ok _ -> true | _ -> false)
+        (show body);
+      let body = body_of (rpc outside (Wire.Op { seq = 2; op = Wire.Read { path = "/fs/user-data" } })) in
+      check "outside read of user-data denied"
+        (match body with Wire.Error (Wire.Denied _) -> true | _ -> false)
+        (show body);
+      outside.Transport.close ();
+      (* The user reads its own file, then exhausts its 3-call budget:
+         calls 4 and 5 answer Busy and the connection stays open. *)
+      let user = Transport.Loopback.connect endpoint in
+      let body = body_of (rpc user (Wire.Hello { seq = 1; creds = user_creds })) in
+      check "hello as user granted"
+        (match body with Wire.Hello_ok _ -> true | _ -> false)
+        (show body);
+      let body = body_of (rpc user (Wire.Op { seq = 2; op = Wire.Read { path = "/fs/user-data" } })) in
+      check "user reads /fs/user-data"
+        (match body with Wire.Value (Value.Str "user-data contents") -> true | _ -> false)
+        (show body);
+      let call seq =
+        body_of
+          (rpc user
+             (Wire.Op
+                {
+                  seq;
+                  op =
+                    Wire.Call
+                      { path = "/svc/fs/read"; args = [ Value.Str "user-data" ] };
+                }))
+      in
+      let ok_calls = ref 0 and busy_calls = ref 0 in
+      for seq = 3 to 7 do
+        match call seq with
+        | Wire.Value _ -> incr ok_calls
+        | Wire.Busy _ -> incr busy_calls
+        | _ -> ()
+      done;
+      check "quota: 3 calls granted, then backpressure"
+        (!ok_calls = 3 && !busy_calls = 2)
+        (Printf.sprintf "ok=%d busy=%d" !ok_calls !busy_calls);
+      let body = body_of (rpc user (Wire.Op { seq = 8; op = Wire.Read { path = "/fs/user-data" } })) in
+      check "connection still serves after Busy"
+        (match body with Wire.Value _ -> true | _ -> false)
+        (show body);
+      user.Transport.close ();
+      Server.stop server;
+      let snap = Metrics.snapshot () in
+      let counter name =
+        match List.assoc_opt name snap.Metrics.counters with Some v -> v | None -> 0
+      in
+      check "serve.requests = serve.responses"
+        (counter "serve.requests" = counter "serve.responses")
+        (Printf.sprintf "requests=%d responses=%d" (counter "serve.requests")
+           (counter "serve.responses"));
+      if !failures = 0 then begin
+        Format.printf "serve self-test: all checks passed@.";
+        0
+      end
+      else begin
+        Format.printf "serve self-test: %d check(s) FAILED@." !failures;
+        1
+      end
+  in
+  let run socket loopback self_test_flag workers =
+    if self_test_flag then self_test ()
+    else
+      match socket with
+      | None ->
+        Format.printf
+          "serve needs a SOCKET path, or --self-test for the in-process smoke@.";
+        if loopback then
+          Format.printf "(--loopback without --self-test has no client to serve)@.";
+        1
+      | Some path -> (
+        Metrics.set_enabled true;
+        match Scenario.build_checked () with
+        | Error label ->
+          Format.printf "scenario setup refused: %s@." label;
+          1
+        | Ok scenario ->
+          let kernel = scenario.Scenario.kernel in
+          (match
+             Exsec_services.Memfs.install_service scenario.Scenario.fs
+               ~subject:(Kernel.admin_subject kernel)
+           with
+          | Ok () | Error _ -> ());
+          let transport = Transport.Unix_socket.listen path in
+          let server = Server.create ?workers kernel transport in
+          Server.start server;
+          Format.printf "serving the scenario world on %s (%d workers); SIGINT stops@."
+            path (Server.workers server);
+          let stop = Atomic.make false in
+          let request_stop _ = Atomic.set stop true in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+          while not (Atomic.get stop) do
+            Unix.sleepf 0.2
+          done;
+          Format.printf "stopping@.";
+          Server.stop server;
+          Format.printf "%a@." Metrics.pp_snapshot (Metrics.snapshot ());
+          0)
+  in
+  let socket =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let loopback =
+    Arg.(
+      value & flag
+      & info [ "loopback" ]
+          ~doc:"Use the in-process loopback transport (with $(b,--self-test)).")
+  in
+  let self_test_flag =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Run the scripted smoke conversation over loopback and exit non-zero on \
+             any failed check.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (default: cores - 1, max 8).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the scenario world over the request front end: authenticate principals, \
+          run their requests through the kernel, apply quota backpressure")
+    Term.(const run $ socket $ loopback $ self_test_flag $ workers)
+
 (* {1 attacks: three-prong fault injection} *)
 
 let attacks_cmd =
@@ -555,7 +787,7 @@ let main_cmd =
     (Cmd.info "exsecd" ~version:"1.0.0" ~doc)
     [
       scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd;
-      analyze_cmd; metrics_cmd;
+      analyze_cmd; metrics_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

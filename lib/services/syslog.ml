@@ -1,13 +1,46 @@
 open Exsec_core
 open Exsec_extsys
 
-type log_state = { mutable entries : string list (* newest first *) }
+(* The entry list is shared by every domain that resolves
+   [/svc/log/data], so all mutation and observation of it funnels
+   through the per-log mutex — the same bug class PR 5 fixed in
+   Netstack (a bare mutable list torn by concurrent appends).  The
+   length rides alongside under the same lock so [size] is O(1)
+   instead of a walk of a list another domain may be swapping. *)
+type log_state = {
+  lock : Mutex.t;
+  mutable entries : string list;  (* newest first *)
+  mutable length : int;
+}
+
 type Kernel.entry += Log_data of log_state
 
 type t = {
   kernel : Kernel.t;
   state : log_state;
 }
+
+let make_state () = { lock = Mutex.create (); entries = []; length = 0 }
+
+let locked state f = Mutex.protect state.lock (fun () -> f state)
+
+let state_append state line =
+  locked state (fun s ->
+      s.entries <- line :: s.entries;
+      s.length <- s.length + 1)
+
+let state_entries state = List.rev (locked state (fun s -> s.entries))
+let state_size state = locked state (fun s -> s.length)
+
+let state_truncate state =
+  locked state (fun s ->
+      s.entries <- [];
+      s.length <- 0)
+
+let state_replace state lines =
+  locked state (fun s ->
+      s.entries <- List.rev lines;
+      s.length <- List.length lines)
 
 let mount_point = Path.of_string "/svc/log"
 let data_path = Path.of_string "/svc/log/data"
@@ -38,7 +71,7 @@ let install kernel ~subject ?klass () =
            ])
       klass
   in
-  let state = { entries = [] } in
+  let state = make_state () in
   let ( let* ) = Result.bind in
   let* () = Kernel.add_dir kernel ~subject mount_point ~meta:dir_meta in
   let* () = Kernel.install_entry kernel ~subject data_path ~meta:data_meta (Log_data state) in
@@ -54,20 +87,16 @@ let checked_data log ~subject ~mode =
 
 let append log ~subject line =
   Result.map
-    (fun state -> state.entries <- line :: state.entries)
+    (fun state -> state_append state line)
     (checked_data log ~subject ~mode:Access_mode.Write_append)
 
 let entries log ~subject =
-  Result.map
-    (fun state -> List.rev state.entries)
-    (checked_data log ~subject ~mode:Access_mode.Read)
+  Result.map state_entries (checked_data log ~subject ~mode:Access_mode.Read)
 
 let truncate log ~subject =
-  Result.map
-    (fun state -> state.entries <- [])
-    (checked_data log ~subject ~mode:Access_mode.Write)
+  Result.map state_truncate (checked_data log ~subject ~mode:Access_mode.Write)
 
-let size log = List.length log.state.entries
+let size log = state_size log.state
 
 let append_cache_stats log ~subject =
   let line =

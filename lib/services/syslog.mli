@@ -12,6 +12,29 @@
 open Exsec_core
 open Exsec_extsys
 
+type log_state
+(** The shared entry list behind one log's data object.  All access
+    goes through a per-log mutex (the list is reachable from every
+    domain that resolves the data object), with an O(1) length
+    maintained under the same lock. *)
+
+type Kernel.entry += Log_data of log_state
+(** The name-space payload at {!data_path}.  Exposed so a request
+    front end ({!Exsec_serve}) can serve wire-level reads and writes
+    against a resolved log object through the safe accessors below. *)
+
+val state_append : log_state -> string -> unit
+val state_entries : log_state -> string list
+(** Oldest first. *)
+
+val state_size : log_state -> int
+(** O(1); does not walk the list. *)
+
+val state_truncate : log_state -> unit
+
+val state_replace : log_state -> string list -> unit
+(** Atomically replace the whole log (a checked full [Write]). *)
+
 type t
 
 val install :
@@ -33,7 +56,7 @@ val truncate : t -> subject:Subject.t -> (unit, Service.error) result
 (** Checked full [Write]: empties the log. *)
 
 val size : t -> int
-(** Unchecked entry count (for tests). *)
+(** Unchecked entry count (for tests); O(1). *)
 
 val append_cache_stats : t -> subject:Subject.t -> (unit, Service.error) result
 (** Snapshot the kernel monitor's decision-cache counters

@@ -1,0 +1,207 @@
+open Exsec_serve
+module Sys_domain = Stdlib.Domain
+
+let now_ns () = float_of_int (Exsec_obs.Metrics.now_ns ())
+
+type outcome = {
+  clients : int;
+  sent : int;
+  ok : int;
+  busy : int;
+  errored : int;
+  late : int;
+  elapsed_ns : float;
+  rps : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "clients=%d sent=%d ok=%d busy=%d errored=%d late=%d rps=%.0f p50=%.1fus \
+     p95=%.1fus p99=%.1fus"
+    o.clients o.sent o.ok o.busy o.errored o.late o.rps (o.p50_ns /. 1e3)
+    (o.p95_ns /. 1e3) (o.p99_ns /. 1e3)
+
+type spec = {
+  clients : int;
+  requests_per_client : int;
+  credentials : int -> Wire.credentials;
+  op : client:int -> seq:int -> Wire.op;
+}
+
+(* One client's tally.  Latencies are preallocated so the measuring
+   loop allocates nothing but the wire frames themselves. *)
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_busy : int;
+  mutable t_errored : int;
+  mutable t_late : int;
+  latencies : float array;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let handshake conn client creds =
+  let hello = Wire.Hello { seq = 0; creds } in
+  conn.Transport.send (Wire.encode_request hello);
+  match conn.Transport.recv () with
+  | None -> Error (Printf.sprintf "client %d: connection lost during hello" client)
+  | Some frame -> (
+    match Wire.decode_response frame with
+    | Error reason ->
+      Error (Printf.sprintf "client %d: malformed hello response (%s)" client reason)
+    | Ok { seq = _; body = Wire.Hello_ok _ } -> Ok ()
+    | Ok { seq = _; body } ->
+      Error
+        (Format.asprintf "client %d: hello refused: %a" client Wire.pp_body body))
+
+(* Send request [seq], await the matching response, tally it.  The
+   conservation check is exact: the response's sequence number must
+   echo the request's, in order, one per request. *)
+let round_trip conn client spec tally seq =
+  let op = spec.op ~client ~seq in
+  let start = now_ns () in
+  conn.Transport.send (Wire.encode_request (Wire.Op { seq; op }));
+  tally.t_sent <- tally.t_sent + 1;
+  match conn.Transport.recv () with
+  | None ->
+    Error (Printf.sprintf "client %d: connection lost awaiting seq %d" client seq)
+  | Some frame -> (
+    match Wire.decode_response frame with
+    | Error reason ->
+      Error
+        (Printf.sprintf "client %d: malformed response at seq %d (%s)" client seq
+           reason)
+    | Ok response ->
+      if response.Wire.seq <> seq then
+        Error
+          (Printf.sprintf
+             "client %d: conservation violated: sent seq %d, got response for \
+              seq %d"
+             client seq response.Wire.seq)
+      else begin
+        tally.latencies.(seq - 1) <- now_ns () -. start;
+        (match response.Wire.body with
+        | Wire.Value _ | Wire.Hello_ok _ -> tally.t_ok <- tally.t_ok + 1
+        | Wire.Busy _ -> tally.t_busy <- tally.t_busy + 1
+        | Wire.Error _ -> tally.t_errored <- tally.t_errored + 1);
+        Ok ()
+      end)
+
+(* Each client: connect, hello, signal readiness, then wait for the
+   coordinator's go signal so the timed region excludes connection and
+   authentication setup.  A client that fails setup still signals
+   readiness (with its error recorded) so the coordinator never hangs. *)
+let run_clients ~connect ~loop spec =
+  if spec.clients < 1 then invalid_arg "Loadgen: clients must be >= 1";
+  if spec.requests_per_client < 1 then
+    invalid_arg "Loadgen: requests_per_client must be >= 1";
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let client_body client =
+    let tally =
+      {
+        t_sent = 0;
+        t_ok = 0;
+        t_busy = 0;
+        t_errored = 0;
+        t_late = 0;
+        latencies = Array.make spec.requests_per_client 0.0;
+      }
+    in
+    match connect () with
+    | exception e ->
+      Atomic.incr ready;
+      (Error (Printf.sprintf "client %d: connect failed: %s" client
+                (Printexc.to_string e)), tally)
+    | conn ->
+      let setup = handshake conn client (spec.credentials client) in
+      Atomic.incr ready;
+      while not (Atomic.get go) do
+        Sys_domain.cpu_relax ()
+      done;
+      let result =
+        match setup with
+        | Error _ as e -> e
+        | Ok () ->
+          let rec drive seq =
+            if seq > spec.requests_per_client then Ok ()
+            else
+              match loop conn client tally seq with
+              | Ok () -> drive (seq + 1)
+              | Error _ as e -> e
+          in
+          drive 1
+      in
+      conn.Transport.close ();
+      (result, tally)
+  in
+  let domains =
+    List.init spec.clients (fun client ->
+        Sys_domain.spawn (fun () -> client_body client))
+  in
+  while Atomic.get ready < spec.clients do
+    Sys_domain.cpu_relax ()
+  done;
+  let start = now_ns () in
+  Atomic.set go true;
+  let results = List.map Sys_domain.join domains in
+  let elapsed_ns = now_ns () -. start in
+  let failure =
+    List.find_map (function Error e, _ -> Some e | Ok (), _ -> None) results
+  in
+  match failure with
+  | Some e -> Error e
+  | None ->
+    let tallies = List.map snd results in
+    let sent = List.fold_left (fun a t -> a + t.t_sent) 0 tallies in
+    let all_latencies =
+      Array.concat (List.map (fun t -> t.latencies) tallies)
+    in
+    Array.sort compare all_latencies;
+    Ok
+      {
+        clients = spec.clients;
+        sent;
+        ok = List.fold_left (fun a t -> a + t.t_ok) 0 tallies;
+        busy = List.fold_left (fun a t -> a + t.t_busy) 0 tallies;
+        errored = List.fold_left (fun a t -> a + t.t_errored) 0 tallies;
+        late = List.fold_left (fun a t -> a + t.t_late) 0 tallies;
+        elapsed_ns;
+        rps =
+          (if elapsed_ns > 0.0 then float_of_int sent /. (elapsed_ns /. 1e9)
+           else 0.0);
+        p50_ns = percentile all_latencies 0.50;
+        p95_ns = percentile all_latencies 0.95;
+        p99_ns = percentile all_latencies 0.99;
+      }
+
+let closed_loop ~connect spec =
+  run_clients ~connect spec ~loop:(fun conn client tally seq ->
+      round_trip conn client spec tally seq)
+
+let open_loop ~connect ~target_rps spec =
+  if target_rps <= 0.0 then invalid_arg "Loadgen: target_rps must be positive";
+  let interval_ns = 1e9 *. float_of_int spec.clients /. target_rps in
+  (* Per-client schedule anchored at its first send: request [seq] is
+     due at [anchor + (seq-1) * interval].  A client behind schedule
+     sends immediately and counts the request late; it never stretches
+     the schedule, so the deficit stays visible. *)
+  let anchors = Array.make spec.clients 0.0 in
+  run_clients ~connect spec ~loop:(fun conn client tally seq ->
+      if seq = 1 then anchors.(client) <- now_ns ()
+      else begin
+        let due = anchors.(client) +. (float_of_int (seq - 1) *. interval_ns) in
+        let now = now_ns () in
+        if now < due then Unix.sleepf ((due -. now) /. 1e9)
+        else if now > due +. interval_ns then tally.t_late <- tally.t_late + 1
+      end;
+      round_trip conn client spec tally seq)

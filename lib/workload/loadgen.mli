@@ -1,0 +1,63 @@
+(** Sustained-RPS load generation against a serve front end
+    ({!Exsec_serve}), for the S2 end-to-end throughput series and the
+    serve test suite.
+
+    Two disciplines over the same per-client machinery:
+
+    - {e closed loop} ({!closed_loop}): each client domain keeps
+      exactly one request in flight — send, await the response, send
+      the next — so the achieved rate is what the server sustains;
+    - {e open loop} ({!open_loop}): each client aims requests at a
+      fixed schedule ([target_rps] spread across the clients)
+      regardless of response latency (one outstanding request per
+      connection still bounds it; a client that cannot hold schedule
+      counts the deficit in [late] rather than silently stretching
+      the run).
+
+    Every client authenticates its own connection, then drives
+    [requests_per_client] operations and verifies {e exact}
+    request/response conservation: one response per request, sequence
+    numbers echoed in order.  Any violation — a lost response, a
+    mismatched sequence number, a dropped connection — aborts the run
+    with the failing client and sequence number in the error message
+    (typed, never an exception through the driver). *)
+
+open Exsec_serve
+
+type outcome = {
+  clients : int;
+  sent : int;
+  ok : int;  (** [Value] responses *)
+  busy : int;  (** quota backpressure responses *)
+  errored : int;  (** [Error] responses (denials etc.) *)
+  late : int;  (** open loop: requests issued behind schedule *)
+  elapsed_ns : float;  (** wall clock of the timed region *)
+  rps : float;  (** responses per second over the timed region *)
+  p50_ns : float;  (** client-observed request latency percentiles *)
+  p95_ns : float;
+  p99_ns : float;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type spec = {
+  clients : int;  (** concurrent client domains, one connection each *)
+  requests_per_client : int;
+  credentials : int -> Wire.credentials;  (** per client index *)
+  op : client:int -> seq:int -> Wire.op;  (** the request mix *)
+}
+
+val closed_loop :
+  connect:(unit -> Transport.conn) -> spec -> (outcome, string) result
+(** Back-to-back requests, one in flight per client.  [Error label]
+    names the first failing client and step (auth refusals, transport
+    drops, conservation violations). *)
+
+val open_loop :
+  connect:(unit -> Transport.conn) ->
+  target_rps:float ->
+  spec ->
+  (outcome, string) result
+(** Paced requests: each client schedules sends at
+    [target_rps / clients] and reports in [late] how many fell behind
+    schedule by more than one interval. *)

@@ -17,9 +17,33 @@ type t = {
 let levels = [ "local"; "organization"; "others" ]
 let categories = [ "myself"; "department-1"; "department-2"; "outside" ]
 
+exception Step_failed of {
+  label : string;
+  error : Exsec_extsys.Service.error;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Step_failed { label; error } ->
+      Some
+        (Printf.sprintf "Scenario.Step_failed(%s: %s)" label
+           (Exsec_extsys.Service.error_to_string error))
+    | _ -> None)
+
+let failure_to_string = function
+  | Step_failed { label; error } ->
+    label ^ ": " ^ Exsec_extsys.Service.error_to_string error
+  | exn -> Printexc.to_string exn
+
+(* A refused setup step used to [failwith] a pre-rendered string,
+   which tore down whole workload runs (and the process, under a
+   driver with no handler) without saying which step died.  The typed
+   exception keeps the failing label and the structural error so
+   drivers can catch it and report, and [build_checked] threads it as
+   a [Result] for callers that must not unwind. *)
 let or_fail label = function
   | Ok value -> value
-  | Error error -> failwith (label ^ ": " ^ Exsec_extsys.Service.error_to_string error)
+  | Error error -> raise (Step_failed { label; error })
 
 let wide_open owner =
   Acl.of_entries
@@ -76,6 +100,11 @@ let build () =
   create d2_applet "d2-data";
   create outside_applet "outside-data";
   { kernel; fs; hierarchy; universe; user; d1_applet; d2_applet; merged_applet; outside_applet }
+
+let build_checked () =
+  match build () with
+  | scenario -> Ok scenario
+  | exception (Step_failed _ as failure) -> Error (failure_to_string failure)
 
 let subjects scenario =
   [

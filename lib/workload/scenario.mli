@@ -40,9 +40,35 @@ type t = {
   outside_applet : Subject.t;
 }
 
+val levels : string list
+(** [["local"; "organization"; "others"]], descending. *)
+
+val categories : string list
+(** [["myself"; "department-1"; "department-2"; "outside"]].  The
+    user's class carries all four (serve clients authenticating as
+    ["user"] request exactly these). *)
+
+exception Step_failed of {
+  label : string;
+  error : Service.error;
+}
+(** A refused setup step, with the step's label and the structural
+    refusal.  Setup failing is a bug, not a policy outcome — but a
+    driver must be able to say {e which} step died and keep its
+    process; catch this (or use {!build_checked}) at the driver. *)
+
+val failure_to_string : exn -> string
+(** ["label: error"] for {!Step_failed}; [Printexc.to_string]
+    otherwise. *)
+
 val build : unit -> t
-(** Construct the whole scenario.  Raises [Failure] if any setup step
-    is refused — setup failing is a bug, not a policy outcome. *)
+(** Construct the whole scenario.
+    @raise Step_failed if any setup step is refused. *)
+
+val build_checked : unit -> (t, string) result
+(** {!build} with {!Step_failed} threaded as a [Result] (the message
+    is {!failure_to_string}'s rendering), for drivers that must not
+    unwind mid-run. *)
 
 val subjects : t -> (string * Subject.t) list
 (** [("user", …); ("d1", …); ("d2", …); ("merged", …); ("outside", …)]. *)

@@ -1,0 +1,393 @@
+open Exsec_core
+open Exsec_extsys
+open Exsec_services
+open Exsec_workload
+open Exsec_serve
+
+(* [Exsec_extsys.Domain] shadows stdlib [Domain]; alias it back for
+   the concurrent-client tests. *)
+module Sys_domain = Stdlib.Domain
+module Metrics = Exsec_obs.Metrics
+
+let check = Alcotest.(check bool)
+
+(* {1 Wire codec} *)
+
+let roundtrip_request r =
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let roundtrip_response r =
+  match Wire.decode_response (Wire.encode_response r) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let test_wire_roundtrip () =
+  let creds =
+    {
+      Wire.principal = "alice";
+      secret = Some "hunter2";
+      level = Some "local";
+      categories = [ "a"; "b" ];
+    }
+  in
+  let requests =
+    [
+      Wire.Hello { seq = 1; creds };
+      Wire.Hello { seq = 2; creds = { creds with Wire.secret = None; categories = [] } };
+      Wire.Op { seq = 3; op = Wire.Resolve { path = "/fs/x"; mode = "read" } };
+      Wire.Op
+        {
+          seq = 4;
+          op = Wire.Call { path = "/svc/p"; args = [ Value.int 7; Value.str "s" ] };
+        };
+      Wire.Op { seq = 5; op = Wire.Open_handle { path = "/svc/p" } };
+      Wire.Op { seq = 6; op = Wire.Call_handle { handle = 0; args = [ Value.unit ] } };
+      Wire.Op { seq = 7; op = Wire.Close_handle { handle = 0 } };
+      Wire.Op { seq = 8; op = Wire.Read { path = "/fs/x" } };
+      Wire.Op { seq = 9; op = Wire.Write { path = "/fs/x"; data = "d"; append = true } };
+    ]
+  in
+  List.iteri
+    (fun i r -> check (Printf.sprintf "request %d" i) true (roundtrip_request r))
+    requests;
+  let responses =
+    [
+      { Wire.seq = 1; body = Wire.Hello_ok { principal = "alice"; klass = "local/{a}" } };
+      { Wire.seq = 2; body = Wire.Value (Value.list [ Value.int 1; Value.bool true ]) };
+      { Wire.seq = 3; body = Wire.Busy "over budget" };
+      {
+        Wire.seq = 4;
+        body = Wire.Error (Wire.Denied { at = "/fs/x"; mode = "read"; denial = "mac: read-up" });
+      };
+      { Wire.seq = 5; body = Wire.Error (Wire.Bad_arity { proc = "p"; expected = 2; got = 1 }) };
+      { Wire.seq = 6; body = Wire.Error (Wire.Quota_exceeded "calls") };
+      { Wire.seq = 7; body = Wire.Error (Wire.Protocol "trailing bytes") };
+    ]
+  in
+  List.iteri
+    (fun i r -> check (Printf.sprintf "response %d" i) true (roundtrip_response r))
+    responses
+
+let test_wire_hostile_bytes () =
+  (* Decoders must refuse, never raise. *)
+  let hostile =
+    [
+      "";
+      "\x00";
+      "\xff\xff\xff\xff";
+      String.make 64 '\x07';
+      (* a valid frame with trailing garbage *)
+      Wire.encode_request (Wire.Op { seq = 1; op = Wire.Read { path = "/x" } }) ^ "!";
+    ]
+  in
+  List.iteri
+    (fun i bytes ->
+      (match Wire.decode_request bytes with
+      | Ok _ -> Alcotest.failf "hostile request %d decoded" i
+      | Error _ -> ());
+      match Wire.decode_response bytes with
+      | Ok _ -> Alcotest.failf "hostile response %d decoded" i
+      | Error _ -> ())
+    hostile
+
+(* {1 Serve worlds} *)
+
+let rpc conn request =
+  conn.Transport.send (Wire.encode_request request);
+  match conn.Transport.recv () with
+  | None -> Alcotest.fail "connection closed mid-conversation"
+  | Some frame -> (
+    match Wire.decode_response frame with
+    | Ok response -> response
+    | Error reason -> Alcotest.failf "malformed response: %s" reason)
+
+let scenario_world ?(workers = 2) () =
+  let scenario = Scenario.build () in
+  let endpoint = Transport.Loopback.create () in
+  let server =
+    Server.create ~workers scenario.Scenario.kernel
+      (Transport.Loopback.transport endpoint)
+  in
+  Server.start server;
+  (scenario, endpoint, server)
+
+let user_creds =
+  {
+    Wire.principal = "user";
+    secret = None;
+    level = Some "local";
+    categories = Scenario.categories;
+  }
+
+let outside_creds =
+  {
+    Wire.principal = "applet-outside";
+    secret = None;
+    level = Some "others";
+    categories = [ "outside" ];
+  }
+
+let hello ?(seq = 1) conn creds = rpc conn (Wire.Hello { seq; creds })
+
+let expect_hello_ok label body =
+  match body with
+  | Wire.Hello_ok _ -> ()
+  | other -> Alcotest.failf "%s: %a" label Wire.pp_body other
+
+(* {1 Authentication} *)
+
+let test_auth_unknown_principal () =
+  let _, endpoint, server = scenario_world () in
+  let conn = Transport.Loopback.connect endpoint in
+  let { Wire.seq; body } =
+    hello ~seq:42 conn { user_creds with Wire.principal = "nobody" }
+  in
+  Alcotest.(check int) "seq echoed" 42 seq;
+  (match body with
+  | Wire.Error (Wire.Auth_failed why) -> check "reason non-empty" true (why <> "")
+  | other -> Alcotest.failf "expected Auth_failed, got %a" Wire.pp_body other);
+  (* A refused hello hangs up. *)
+  check "closed after refusal" true (conn.Transport.recv () = None);
+  conn.Transport.close ();
+  Server.stop server
+
+let test_auth_registry_secret () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  List.iter (Principal.Db.add_individual db) [ admin; alice ];
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let registry = Clearance.create () in
+  Clearance.register registry ~secret:"s3cret" alice
+    (Security_class.make (Level.of_name_exn hierarchy "hi") (Category.empty universe));
+  let kernel = Kernel.boot ~registry ~db ~admin ~hierarchy ~universe () in
+  let endpoint = Transport.Loopback.create () in
+  let server = Server.create ~workers:1 kernel (Transport.Loopback.transport endpoint) in
+  Server.start server;
+  let creds secret =
+    { Wire.principal = "alice"; secret; level = None; categories = [] }
+  in
+  (* Wrong secret: the registry's refusal crosses the wire. *)
+  let conn = Transport.Loopback.connect endpoint in
+  (match (hello conn (creds (Some "wrong"))).Wire.body with
+  | Wire.Error (Wire.Auth_failed _) -> ()
+  | other -> Alcotest.failf "wrong secret admitted: %a" Wire.pp_body other);
+  conn.Transport.close ();
+  (* Right secret: session established below-or-at clearance. *)
+  let conn = Transport.Loopback.connect endpoint in
+  expect_hello_ok "right secret" (hello conn (creds (Some "s3cret"))).Wire.body;
+  conn.Transport.close ();
+  (* Above clearance: lo-cleared bob does not exist; alice asking for a
+     class above her clearance is refused by the registry, not served. *)
+  let conn = Transport.Loopback.connect endpoint in
+  (match
+     (hello conn { (creds (Some "s3cret")) with Wire.level = Some "nonexistent" }).Wire.body
+   with
+  | Wire.Error (Wire.Auth_failed _) -> ()
+  | other -> Alcotest.failf "unknown level admitted: %a" Wire.pp_body other);
+  conn.Transport.close ();
+  Server.stop server
+
+let test_op_before_hello () =
+  let _, endpoint, server = scenario_world () in
+  let conn = Transport.Loopback.connect endpoint in
+  let { Wire.body; _ } = rpc conn (Wire.Op { seq = 1; op = Wire.Read { path = "/fs/user-data" } }) in
+  (match body with
+  | Wire.Error (Wire.Protocol _) -> ()
+  | other -> Alcotest.failf "op before hello answered %a" Wire.pp_body other);
+  check "closed after protocol error" true (conn.Transport.recv () = None);
+  conn.Transport.close ();
+  Server.stop server
+
+(* {1 Denial mapping}
+
+   The same monitor refusal must cross the wire as exactly
+   [Wire.error_of_service (Service.error_of_denial denial)] — the
+   mapping every other error path composes with. *)
+
+let test_denial_mapping () =
+  let scenario, endpoint, server = scenario_world () in
+  let conn = Transport.Loopback.connect endpoint in
+  expect_hello_ok "outside hello" (hello conn outside_creds).Wire.body;
+  let { Wire.body; _ } =
+    rpc conn (Wire.Op { seq = 2; op = Wire.Read { path = "/fs/user-data" } })
+  in
+  conn.Transport.close ();
+  Server.stop server;
+  (* The same decision taken directly, mapped through the canonical
+     composition. *)
+  let kernel = scenario.Scenario.kernel in
+  let subject =
+    Subject.make
+      (Principal.individual "applet-outside")
+      (Security_class.make
+         (Level.of_name_exn (Kernel.hierarchy kernel) "others")
+         (Category.of_names (Kernel.universe kernel) [ "outside" ]))
+  in
+  let direct =
+    match
+      Resolver.resolve (Kernel.resolver kernel) ~subject ~mode:Access_mode.Read
+        (Path.of_string "/fs/user-data")
+    with
+    | Error denial -> Wire.error_of_service (Service.error_of_denial denial)
+    | Ok _ -> Alcotest.fail "outside subject read user-data directly"
+  in
+  match body with
+  | Wire.Error wire_error ->
+    check "wire error = error_of_service of the direct denial" true (wire_error = direct)
+  | other -> Alcotest.failf "expected a denial, got %a" Wire.pp_body other
+
+(* {1 Quota backpressure} *)
+
+let test_quota_backpressure () =
+  let scenario, endpoint, server = scenario_world () in
+  let kernel = scenario.Scenario.kernel in
+  (match
+     Memfs.install_service scenario.Scenario.fs ~subject:(Kernel.admin_subject kernel)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install /svc/fs: %s" (Service.error_to_string e));
+  Quota.set (Kernel.quota kernel) (Principal.individual "user") (Quota.calls 3);
+  let conn = Transport.Loopback.connect endpoint in
+  expect_hello_ok "user hello" (hello conn user_creds).Wire.body;
+  let call seq =
+    (rpc conn
+       (Wire.Op
+          { seq; op = Wire.Call { path = "/svc/fs/read"; args = [ Value.str "user-data" ] } }))
+      .Wire.body
+  in
+  for seq = 2 to 4 do
+    match call seq with
+    | Wire.Value _ -> ()
+    | other -> Alcotest.failf "call %d refused: %a" seq Wire.pp_body other
+  done;
+  (match call 5 with
+  | Wire.Busy _ -> ()
+  | other -> Alcotest.failf "over-budget call answered %a" Wire.pp_body other);
+  (match call 6 with
+  | Wire.Busy _ -> ()
+  | other -> Alcotest.failf "still over budget, got %a" Wire.pp_body other);
+  (* Backpressure, not a hangup: the connection still serves requests
+     that charge nothing. *)
+  (match (rpc conn (Wire.Op { seq = 7; op = Wire.Read { path = "/fs/user-data" } })).Wire.body with
+  | Wire.Value (Value.Str _) -> ()
+  | other -> Alcotest.failf "post-Busy read refused: %a" Wire.pp_body other);
+  conn.Transport.close ();
+  Server.stop server
+
+(* {1 Capability handles are connection-scoped} *)
+
+let test_handles_scoped_to_connection () =
+  let scenario, endpoint, server = scenario_world () in
+  let kernel = scenario.Scenario.kernel in
+  (match
+     Memfs.install_service scenario.Scenario.fs ~subject:(Kernel.admin_subject kernel)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install /svc/fs: %s" (Service.error_to_string e));
+  let a = Transport.Loopback.connect endpoint in
+  expect_hello_ok "a hello" (hello a user_creds).Wire.body;
+  let id =
+    match (rpc a (Wire.Op { seq = 2; op = Wire.Open_handle { path = "/svc/fs/read" } })).Wire.body with
+    | Wire.Value (Value.Int id) -> id
+    | other -> Alcotest.failf "open_handle: %a" Wire.pp_body other
+  in
+  (match
+     (rpc a (Wire.Op { seq = 3; op = Wire.Call_handle { handle = id; args = [ Value.str "user-data" ] } }))
+       .Wire.body
+   with
+  | Wire.Value (Value.Str _) -> ()
+  | other -> Alcotest.failf "call_handle: %a" Wire.pp_body other);
+  (* Another connection cannot use A's wire id: the table is per
+     connection, and the kernel handle behind it is unreachable. *)
+  let b = Transport.Loopback.connect endpoint in
+  expect_hello_ok "b hello" (hello b user_creds).Wire.body;
+  (match
+     (rpc b (Wire.Op { seq = 2; op = Wire.Call_handle { handle = id; args = [ Value.str "user-data" ] } }))
+       .Wire.body
+   with
+  | Wire.Error (Wire.Bad_argument _) -> ()
+  | other -> Alcotest.failf "foreign handle id served: %a" Wire.pp_body other);
+  (match (rpc a (Wire.Op { seq = 4; op = Wire.Close_handle { handle = id } })).Wire.body with
+  | Wire.Value (Value.Bool true) -> ()
+  | other -> Alcotest.failf "close_handle: %a" Wire.pp_body other);
+  a.Transport.close ();
+  b.Transport.close ();
+  Server.stop server
+
+(* {1 Concurrent clients: exact conservation} *)
+
+let test_concurrent_clients_conserve () =
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  let snapshot_counter name =
+    let snap = Metrics.snapshot () in
+    match List.assoc_opt name snap.Metrics.counters with Some v -> v | None -> 0
+  in
+  let requests0 = snapshot_counter "serve.requests" in
+  let responses0 = snapshot_counter "serve.responses" in
+  let _, endpoint, server = scenario_world ~workers:4 () in
+  let clients = 4 and requests_per_client = 200 in
+  let spec =
+    {
+      Loadgen.clients;
+      requests_per_client;
+      credentials = (fun _ -> user_creds);
+      op = (fun ~client:_ ~seq:_ -> Wire.Read { path = "/fs/user-data" });
+    }
+  in
+  let outcome =
+    match
+      Loadgen.closed_loop ~connect:(fun () -> Transport.Loopback.connect endpoint) spec
+    with
+    | Ok outcome -> outcome
+    | Error reason -> Alcotest.failf "loadgen: %s" reason
+  in
+  Server.stop server;
+  let total = clients * requests_per_client in
+  Alcotest.(check int) "every request sent" total outcome.Loadgen.sent;
+  Alcotest.(check int) "every response a Value" total outcome.Loadgen.ok;
+  Alcotest.(check int) "no Busy" 0 outcome.Loadgen.busy;
+  Alcotest.(check int) "no errors" 0 outcome.Loadgen.errored;
+  (* And the server counted the same conversation. *)
+  Alcotest.(check int) "server saw every request" total
+    (snapshot_counter "serve.requests" - requests0);
+  Alcotest.(check int) "server answered every request" total
+    (snapshot_counter "serve.responses" - responses0);
+  Metrics.set_enabled was_enabled
+
+(* {1 The Unix-domain socket transport} *)
+
+let test_unix_socket_roundtrip () =
+  let scenario = Scenario.build () in
+  let path = Filename.temp_file "exsec-serve" ".sock" in
+  Sys.remove path;
+  let transport = Transport.Unix_socket.listen path in
+  let server = Server.create ~workers:1 scenario.Scenario.kernel transport in
+  Server.start server;
+  let conn = Transport.Unix_socket.connect path in
+  expect_hello_ok "hello over the socket" (hello conn user_creds).Wire.body;
+  (match (rpc conn (Wire.Op { seq = 2; op = Wire.Read { path = "/fs/user-data" } })).Wire.body with
+  | Wire.Value (Value.Str data) ->
+    Alcotest.(check string) "data" "user-data contents" data
+  | other -> Alcotest.failf "read over the socket: %a" Wire.pp_body other);
+  conn.Transport.close ();
+  Server.stop server;
+  check "socket unlinked" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire hostile bytes" `Quick test_wire_hostile_bytes;
+    Alcotest.test_case "auth unknown principal" `Quick test_auth_unknown_principal;
+    Alcotest.test_case "auth registry secret" `Quick test_auth_registry_secret;
+    Alcotest.test_case "op before hello" `Quick test_op_before_hello;
+    Alcotest.test_case "denial mapping" `Quick test_denial_mapping;
+    Alcotest.test_case "quota backpressure" `Quick test_quota_backpressure;
+    Alcotest.test_case "handles connection-scoped" `Quick test_handles_scoped_to_connection;
+    Alcotest.test_case "concurrent clients conserve" `Quick test_concurrent_clients_conserve;
+    Alcotest.test_case "unix socket roundtrip" `Quick test_unix_socket_roundtrip;
+  ]

@@ -96,10 +96,55 @@ let test_custom_class () =
   let () = ok "append" (Syslog.append log ~subject:low "visible") in
   Alcotest.(check (list string)) "low reads" [ "visible" ] (ok "entries" (Syslog.entries log ~subject:low))
 
+(* Conservation under concurrent appenders: the per-log mutex must
+   lose no line and keep the O(1) length exact (the old unsynchronized
+   [entries <- line :: entries] dropped lines when two domains raced
+   the read-modify-write). *)
+let test_concurrent_append_conservation () =
+  let module Sys_domain = Stdlib.Domain in
+  let kernel, log, _admin, alice = boot () in
+  let low = Subject.make alice (cls kernel "lo") in
+  let domains = 4 and lines_per_domain = 250 in
+  let spawned =
+    List.init domains (fun d ->
+        Sys_domain.spawn (fun () ->
+            for i = 1 to lines_per_domain do
+              ok "concurrent append"
+                (Syslog.append log ~subject:low (Printf.sprintf "d%d-%04d" d i))
+            done))
+  in
+  List.iter Sys_domain.join spawned;
+  Alcotest.(check int) "size counts every line" (domains * lines_per_domain)
+    (Syslog.size log);
+  let lines = ok "read back" (Syslog.entries log ~subject:(Subject.make _admin (cls kernel "hi"))) in
+  Alcotest.(check int) "entries lose nothing" (domains * lines_per_domain)
+    (List.length lines);
+  (* Every line written is present exactly once. *)
+  let expected =
+    List.concat_map
+      (fun d -> List.init lines_per_domain (fun i -> Printf.sprintf "d%d-%04d" d (i + 1)))
+      (List.init domains Fun.id)
+  in
+  Alcotest.(check (list string)) "multiset of lines intact"
+    (List.sort compare expected) (List.sort compare lines);
+  (* Per-domain order is preserved: appends from one domain stay in
+     program order even when interleaved with the others'. *)
+  let per_domain d =
+    List.filter (fun l -> String.sub l 0 2 = Printf.sprintf "d%d" d) lines
+  in
+  for d = 0 to domains - 1 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "domain %d order preserved" d)
+      (List.init lines_per_domain (fun i -> Printf.sprintf "d%d-%04d" d (i + 1)))
+      (per_domain d)
+  done
+
 let suite =
   [
     Alcotest.test_case "low appends, high reads" `Quick test_low_appends_high_reads;
     Alcotest.test_case "no truncate from below" `Quick test_no_truncate_from_below;
     Alcotest.test_case "append needs DAC too" `Quick test_append_needs_dac_too;
     Alcotest.test_case "custom class" `Quick test_custom_class;
+    Alcotest.test_case "concurrent append conservation" `Quick
+      test_concurrent_append_conservation;
   ]

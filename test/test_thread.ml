@@ -88,6 +88,64 @@ let test_find_and_kill_mid_run () =
   check "t2 done" true (Thread.state t2 = Thread.Done);
   Alcotest.(check int) "no live threads" 0 (List.length (Sched.alive sched))
 
+(* Regression: the old cursor indexed into the *live* list
+   ([List.nth live (cursor mod count)]), so a thread finishing or
+   dying mid-rotation shifted every later thread's index — some got
+   skipped, some served twice.  Positions are stable now: every live
+   thread must be stepped exactly once per rotation however the
+   population churns. *)
+let test_fairness_under_churn () =
+  let sched = Sched.create () in
+  let order = ref [] in
+  let immortal id =
+    make_thread ~id (fun () ->
+        order := id :: !order;
+        Thread.Runnable)
+  in
+  (* Thread 2 finishes on its first quantum, mid-rotation. *)
+  let one_shot id =
+    make_thread ~id (fun () ->
+        order := id :: !order;
+        Thread.Finished)
+  in
+  Sched.add sched (immortal 1);
+  Sched.add sched (one_shot 2);
+  Sched.add sched (immortal 3);
+  Sched.add sched (immortal 4);
+  for _ = 1 to 7 do
+    ignore (Sched.step sched)
+  done;
+  (* Rotation one serves 1 2 3 4; thread 2 is then gone, and rotation
+     two serves exactly the three survivors, none skipped or doubled. *)
+  Alcotest.(check (list int)) "churn keeps the rotation exact"
+    [ 1; 2; 3; 4; 1; 3; 4 ] (List.rev !order)
+
+let test_fairness_after_kill_mid_rotation () =
+  let sched = Sched.create () in
+  let order = ref [] in
+  let immortal id =
+    make_thread ~id (fun () ->
+        order := id :: !order;
+        Thread.Runnable)
+  in
+  let t1 = immortal 1 in
+  Sched.add sched t1;
+  Sched.add sched (immortal 2);
+  Sched.add sched (immortal 3);
+  ignore (Sched.step sched);
+  (* Kill the thread the cursor just passed: with the old live-list
+     indexing the shrunken list made the cursor skip thread 2. *)
+  Thread.kill t1;
+  ignore (Sched.step sched);
+  ignore (Sched.step sched);
+  Alcotest.(check (list int)) "no skip after mid-rotation kill" [ 1; 2; 3 ]
+    (List.rev !order);
+  (* And the survivors keep alternating. *)
+  ignore (Sched.step sched);
+  ignore (Sched.step sched);
+  Alcotest.(check (list int)) "survivors alternate" [ 1; 2; 3; 2; 3 ]
+    (List.rev !order)
+
 let test_empty_sched () =
   let sched = Sched.create () in
   check "no step" false (Sched.step sched);
@@ -100,5 +158,8 @@ let suite =
     Alcotest.test_case "round robin" `Quick test_round_robin_fairness;
     Alcotest.test_case "run budget" `Quick test_run_budget;
     Alcotest.test_case "kill mid run" `Quick test_find_and_kill_mid_run;
+    Alcotest.test_case "fairness under churn" `Quick test_fairness_under_churn;
+    Alcotest.test_case "fairness after mid-rotation kill" `Quick
+      test_fairness_after_kill_mid_rotation;
     Alcotest.test_case "empty scheduler" `Quick test_empty_sched;
   ]
