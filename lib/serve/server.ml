@@ -10,8 +10,10 @@ module Chan = Transport.Chan
 
 (* Front-end instruments.  Conservation, relied on by the serve test
    suite and the load generator: serve.requests = serve.responses
-   exactly — every decoded Op produces one response on the same
-   connection, Busy and errors included. *)
+   exactly — every decoded Op produces one response attempt on the
+   same connection, Busy and errors included.  A client that vanishes
+   mid-response still counts: the attempt is the unit, so the pair
+   stays equal even when connections abort. *)
 let m_connections = Metrics.counter "serve.connections"
 let m_auth_failures = Metrics.counter "serve.auth_failures"
 let m_requests = Metrics.counter "serve.requests"
@@ -50,6 +52,12 @@ type t = {
   mutable started : bool;
   mutable stopped : bool;
   conn_seq : int Atomic.t;
+  (* Accepted connections being served right now, so [stop] can close
+     them out from under workers blocked in [recv]; guarded by
+     [live_lock], which also orders registration against [stopped]. *)
+  live : (int, Transport.conn) Hashtbl.t;
+  live_lock : Mutex.t;
+  live_seq : int Atomic.t;
 }
 
 let workers t = t.n_workers
@@ -72,6 +80,9 @@ let create ?workers ?(name = "serve") kernel transport =
     started = false;
     stopped = false;
     conn_seq = Atomic.make 0;
+    live = Hashtbl.create 16;
+    live_lock = Mutex.create ();
+    live_seq = Atomic.make 0;
   }
 
 (* {1 Authentication}
@@ -207,7 +218,7 @@ let exec server session (op : Wire.op) : Wire.body =
       | Error denial -> service_error (Service.error_of_denial denial)
       | Ok node -> (
         match Namespace.payload node with
-        | Some (Memfs.File file) -> Wire.Value (Value.str file.Memfs.data)
+        | Some (Memfs.File file) -> Wire.Value (Value.str (Memfs.file_contents file))
         | Some (Syslog.Log_data state) ->
           Wire.Value (Value.list (List.map Value.str (Syslog.state_entries state)))
         | Some _ | None ->
@@ -220,8 +231,7 @@ let exec server session (op : Wire.op) : Wire.body =
     | Ok node -> (
       match Namespace.payload node with
       | Some (Memfs.File file) ->
-        if append then file.Memfs.data <- file.Memfs.data ^ data
-        else file.Memfs.data <- data;
+        if append then Memfs.file_append file data else Memfs.file_replace file data;
         Wire.Value Value.unit
       | Some (Syslog.Log_data state) ->
         if append then Syslog.state_append state data
@@ -318,10 +328,9 @@ let serve_conn server conn =
           let body = exec server session op in
           Metrics.stop_timing endpoint_histograms.(endpoint) te;
           Metrics.stop_timing m_request_ns t0;
-          if send_response conn { seq; body } then begin
-            Metrics.incr m_responses;
-            loop ()
-          end)
+          let delivered = send_response conn { seq; body } in
+          Metrics.incr m_responses;
+          if delivered then loop ())
     in
     loop ();
     close_session server.kernel session);
@@ -339,13 +348,34 @@ let accept_loop server () =
   in
   loop ()
 
+(* Registration is refused once [stop] has run: either the connection
+   lands in [live] before [stop] takes [live_lock] (and [stop] closes
+   it), or registration observes [stopped] and the worker hangs up
+   immediately — no window where a late connection blocks [recv]
+   forever. *)
+let register_conn server conn =
+  Mutex.protect server.live_lock (fun () ->
+      if server.stopped then None
+      else begin
+        let id = Atomic.fetch_and_add server.live_seq 1 in
+        Hashtbl.replace server.live id conn;
+        Some id
+      end)
+
+let unregister_conn server id =
+  Mutex.protect server.live_lock (fun () -> Hashtbl.remove server.live id)
+
 let worker_loop server () =
   let rec loop () =
     match Chan.pop server.pending with
     | None -> ()
     | Some conn ->
-      (try serve_conn server conn with
-      | _ -> conn.Transport.close ());
+      (match register_conn server conn with
+      | None -> conn.Transport.close ()
+      | Some id ->
+        (try serve_conn server conn with
+        | _ -> conn.Transport.close ());
+        unregister_conn server id);
       loop ()
   in
   loop ()
@@ -371,4 +401,12 @@ let stop server =
           domains
         end)
   in
+  (* Workers blocked in [recv] on active connections never see the
+     listener go down; close their connections so every worker
+     observes end-of-stream and the joins below terminate. *)
+  Mutex.protect server.live_lock (fun () ->
+      Hashtbl.iter
+        (fun _ conn -> try conn.Transport.close () with _ -> ())
+        server.live;
+      Hashtbl.reset server.live);
   List.iter Sys_domain.join domains

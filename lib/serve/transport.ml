@@ -118,8 +118,12 @@ module Unix_socket = struct
     let n = String.length s in
     let rec go off =
       if off < n then
-        let wrote = Unix.write_substring fd s off (n - off) in
-        go (off + wrote)
+        match Unix.write_substring fd s off (n - off) with
+        | wrote -> go (off + wrote)
+        | exception Unix.Unix_error (EINTR, _, _) ->
+          (* A stray signal must not tear down a healthy connection:
+             retry at the same offset, mirroring [read_exact]. *)
+          go off
     in
     go 0
 
@@ -145,8 +149,13 @@ module Unix_socket = struct
   let conn_of_fd ~peer fd =
     let closed = Atomic.make false in
     let close () =
-      if not (Atomic.exchange closed true) then
+      if not (Atomic.exchange closed true) then begin
+        (* shutdown() before close(): [Server.stop] closes connections
+           out from under workers blocked in read(2), which wakes on a
+           shutdown (EOF) but not reliably on a bare close. *)
+        (try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
         try Unix.close fd with Unix.Unix_error _ -> ()
+      end
     in
     let send payload =
       if String.length payload > Wire.max_frame then raise Closed;

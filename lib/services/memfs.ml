@@ -1,8 +1,24 @@
 open Exsec_core
 open Exsec_extsys
 
-type file = { mutable data : string }
+(* A file's contents are shared by every domain that resolves it —
+   the serve front end's worker domains mutate files concurrently —
+   so reads and writes funnel through the per-file mutex, the same
+   bug class fixed in Netstack (PR 5) and Syslog (this PR): a bare
+   read-modify-write append from two domains silently loses data. *)
+type file = {
+  lock : Mutex.t;
+  mutable data : string;
+}
+
 type Kernel.entry += File of file
+
+let file_make data = { lock = Mutex.create (); data }
+let file_contents file = Mutex.protect file.lock (fun () -> file.data)
+let file_replace file contents = Mutex.protect file.lock (fun () -> file.data <- contents)
+
+let file_append file contents =
+  Mutex.protect file.lock (fun () -> file.data <- file.data ^ contents)
 
 type t = {
   kernel : Kernel.t;
@@ -57,7 +73,7 @@ let create fs ~subject ?klass ?acl name contents =
   let meta = node_meta fs ~subject ?klass ?acl ~dir:false () in
   match
     Resolver.create_leaf (Kernel.resolver fs.kernel) ~subject (abs fs name) ~meta
-      (File { data = contents })
+      (File (file_make contents))
   with
   | Ok _ -> Ok ()
   | Error denial -> Error (Kernel.error_of_denial denial)
@@ -72,11 +88,11 @@ let resolve_file fs ~subject ~mode name =
       Error (Service.Unresolved (Path.to_string (abs fs name) ^ ": not a file")))
 
 let read fs ~subject name =
-  Result.map (fun file -> file.data) (resolve_file fs ~subject ~mode:Access_mode.Read name)
+  Result.map file_contents (resolve_file fs ~subject ~mode:Access_mode.Read name)
 
 let write fs ~subject name contents =
   Result.map
-    (fun file -> file.data <- contents)
+    (fun file -> file_replace file contents)
     (resolve_file fs ~subject ~mode:Access_mode.Write name)
 
 (* Append accepts either Write_append or full Write: holding the
@@ -88,7 +104,7 @@ let append fs ~subject name contents =
     | Error (Service.Denied _) -> resolve_file fs ~subject ~mode:Access_mode.Write name
     | Error e -> Error e
   in
-  Result.map (fun file -> file.data <- file.data ^ contents) appended
+  Result.map (fun file -> file_append file contents) appended
 
 let remove fs ~subject name =
   match Resolver.remove (Kernel.resolver fs.kernel) ~subject (abs fs name) with

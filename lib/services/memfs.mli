@@ -15,7 +15,16 @@
 open Exsec_core
 open Exsec_extsys
 
-type file = { mutable data : string }
+type file
+(** A file's payload.  Contents live behind a per-file mutex —
+    files are resolved and mutated from any domain (the serve front
+    end's workers included), so all access funnels through the locked
+    accessors below; concurrent appends never lose data. *)
+
+val file_make : string -> file
+val file_contents : file -> string
+val file_replace : file -> string -> unit
+val file_append : file -> string -> unit
 
 type Kernel.entry += File of file
 

@@ -77,7 +77,7 @@ let materialize_objects t (built : Policy_text.built) =
           (Path.prefixes path);
         ignore
           (Resolver.create_leaf (Kernel.resolver t.kernel) ~subject:admin_sub path ~meta
-             (Memfs.File { Memfs.data = "" }))
+             (Memfs.File (Memfs.file_make "")))
       end
       else skipped := path_string :: !skipped)
     built.Policy_text.metas;

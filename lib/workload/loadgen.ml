@@ -123,7 +123,17 @@ let run_clients ~connect ~loop spec =
       (Error (Printf.sprintf "client %d: connect failed: %s" client
                 (Printexc.to_string e)), tally)
     | conn ->
-      let setup = handshake conn client (spec.credentials client) in
+      (* The handshake sends, and a send on a dropped socket raises
+         [Transport.Closed]: catch it here so readiness is signalled
+         unconditionally and the coordinator never spins forever. *)
+      let setup =
+        match handshake conn client (spec.credentials client) with
+        | result -> result
+        | exception e ->
+          Error
+            (Printf.sprintf "client %d: handshake failed: %s" client
+               (Printexc.to_string e))
+      in
       Atomic.incr ready;
       while not (Atomic.get go) do
         Sys_domain.cpu_relax ()
@@ -138,6 +148,12 @@ let run_clients ~connect ~loop spec =
               match loop conn client tally seq with
               | Ok () -> drive (seq + 1)
               | Error _ as e -> e
+              | exception Transport.Closed ->
+                (* A dropped client is a measurement outcome, not a
+                   crash at join. *)
+                Error
+                  (Printf.sprintf "client %d: connection closed at seq %d"
+                     client seq)
           in
           drive 1
       in

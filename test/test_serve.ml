@@ -359,6 +359,82 @@ let test_concurrent_clients_conserve () =
     (snapshot_counter "serve.responses" - responses0);
   Metrics.set_enabled was_enabled
 
+(* {1 Concurrent appends: per-file lock conservation}
+
+   Four clients hammer appends at the same Memfs file from four
+   worker domains; the per-file mutex must make each append atomic,
+   so every appended byte survives.  Before the lock, the
+   read-modify-write [data <- data ^ chunk] silently lost chunks. *)
+
+let test_concurrent_appends_conserve () =
+  let scenario, endpoint, server = scenario_world ~workers:4 () in
+  let clients = 4 and requests_per_client = 100 in
+  let marker client = String.make 1 (Char.chr (Char.code 'A' + client)) in
+  let spec =
+    {
+      Loadgen.clients;
+      requests_per_client;
+      credentials = (fun _ -> user_creds);
+      op =
+        (fun ~client ~seq:_ ->
+          Wire.Write { path = "/fs/user-data"; data = marker client; append = true });
+    }
+  in
+  let outcome =
+    match
+      Loadgen.closed_loop ~connect:(fun () -> Transport.Loopback.connect endpoint) spec
+    with
+    | Ok outcome -> outcome
+    | Error reason -> Alcotest.failf "loadgen: %s" reason
+  in
+  Server.stop server;
+  let total = clients * requests_per_client in
+  Alcotest.(check int) "every append acknowledged" total outcome.Loadgen.ok;
+  let data =
+    match Memfs.read scenario.Scenario.fs ~subject:scenario.Scenario.user "user-data" with
+    | Ok data -> data
+    | Error e -> Alcotest.failf "read back: %s" (Service.error_to_string e)
+  in
+  let initial = "user-data contents" in
+  Alcotest.(check int) "no appended byte lost"
+    (String.length initial + total)
+    (String.length data);
+  for client = 0 to clients - 1 do
+    let c = (marker client).[0] in
+    let count = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 data in
+    Alcotest.(check int)
+      (Printf.sprintf "client %d appends all present" client)
+      requests_per_client count
+  done
+
+(* {1 Stop closes idle connections}
+
+   A client that authenticates and then goes quiet leaves a worker
+   blocked in [recv]; [stop] must close the connection out from under
+   it rather than wait forever on the join. *)
+
+let test_stop_with_idle_connections () =
+  (* Loopback. *)
+  let _, endpoint, server = scenario_world ~workers:2 () in
+  let conn = Transport.Loopback.connect endpoint in
+  expect_hello_ok "loopback hello" (hello conn user_creds).Wire.body;
+  Server.stop server;
+  check "loopback client sees close" true (conn.Transport.recv () = None);
+  conn.Transport.close ();
+  (* Unix socket: the worker is blocked in read(2), which only a
+     shutdown of the connection fd wakes. *)
+  let scenario = Scenario.build () in
+  let path = Filename.temp_file "exsec-serve-stop" ".sock" in
+  Sys.remove path;
+  let transport = Transport.Unix_socket.listen path in
+  let server = Server.create ~workers:1 scenario.Scenario.kernel transport in
+  Server.start server;
+  let conn = Transport.Unix_socket.connect path in
+  expect_hello_ok "socket hello" (hello conn user_creds).Wire.body;
+  Server.stop server;
+  check "socket client sees close" true (conn.Transport.recv () = None);
+  conn.Transport.close ()
+
 (* {1 The Unix-domain socket transport} *)
 
 let test_unix_socket_roundtrip () =
@@ -389,5 +465,7 @@ let suite =
     Alcotest.test_case "quota backpressure" `Quick test_quota_backpressure;
     Alcotest.test_case "handles connection-scoped" `Quick test_handles_scoped_to_connection;
     Alcotest.test_case "concurrent clients conserve" `Quick test_concurrent_clients_conserve;
+    Alcotest.test_case "concurrent appends conserve" `Quick test_concurrent_appends_conserve;
+    Alcotest.test_case "stop closes idle connections" `Quick test_stop_with_idle_connections;
     Alcotest.test_case "unix socket roundtrip" `Quick test_unix_socket_roundtrip;
   ]
