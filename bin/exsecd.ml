@@ -375,7 +375,7 @@ let policy_cmd =
 
 let analyze_cmd =
   let module Finding = Exsec_analysis.Finding in
-  let run file json severity_name dac_only mac_only liberal =
+  let run file json severity_name dac_only mac_only liberal chains =
     let severity =
       match Finding.severity_of_string severity_name with
       | Some severity -> severity
@@ -404,10 +404,41 @@ let analyze_cmd =
       if liberal then { base with Policy.overwrite = Mac.Liberal } else base
     in
     let report = Exsec_analysis.Analyzer.analyze_text ~policy text in
-    let kept = Finding.sort (Finding.at_least severity report.Exsec_analysis.Analyzer.findings) in
-    if json then print_endline (Finding.to_json kept)
+    let chain_report =
+      if not chains then None
+      else
+        match report.Exsec_analysis.Analyzer.built with
+        | Some built -> Some (Exsec_analysis.Analyzer.analyze_chains ~policy ~built ())
+        | None -> None
+    in
+    let findings =
+      Finding.normalize
+        (report.Exsec_analysis.Analyzer.findings
+        @
+        match chain_report with
+        | Some chain -> chain.Exsec_analysis.Chain_certify.findings
+        | None -> [])
+    in
+    let kept = Finding.sort (Finding.at_least severity findings) in
+    if json then begin
+      let extra =
+        match chain_report with
+        | None -> []
+        | Some chain ->
+          [ "chains", Exsec_analysis.Chain_certify.sites_to_json chain ]
+      in
+      print_endline (Finding.to_json ~extra kept)
+    end
     else begin
       List.iter (fun f -> Format.printf "%a@." Finding.pp f) kept;
+      (match chain_report with
+      | None -> ()
+      | Some chain ->
+        Format.printf "call sites (chain analysis):@.";
+        List.iter
+          (fun site ->
+            Format.printf "  %a@." Exsec_analysis.Chain_certify.pp_site site)
+          chain.Exsec_analysis.Chain_certify.sites);
       Format.printf "%s: %d error(s), %d warning(s), %d info@." file
         (Finding.count Finding.Error kept)
         (Finding.count Finding.Warning kept)
@@ -434,13 +465,23 @@ let analyze_cmd =
   let liberal =
     Arg.(value & flag & info [ "liberal" ] ~doc:"Analyze under the liberal overwrite rule.")
   in
+  let chains =
+    Arg.(
+      value & flag
+      & info [ "chains" ]
+          ~doc:
+            "Run the interprocedural chain analysis: classify every reachable call \
+             site as provably-redundant, provably-denied (an error) or \
+             runtime-dependent, and flag over-privileged grants on call-graph objects.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically analyze a policy file: parse and name defects, ACL lint (shadowed, \
-          contradictory, redundant, dead entries), and information-flow channels. Exits \
-          non-zero when any error-severity finding is reported.")
-    Term.(const run $ file $ json $ severity $ dac_only $ mac_only $ liberal)
+          contradictory, redundant, dead entries), information-flow channels, and (with \
+          $(b,--chains)) interprocedural call-chain verdicts. Exits non-zero when any \
+          error-severity finding is reported.")
+    Term.(const run $ file $ json $ severity $ dac_only $ mac_only $ liberal $ chains)
 
 (* {1 metrics: the observability registry over a live workload} *)
 

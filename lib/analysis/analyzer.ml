@@ -204,4 +204,12 @@ let analyze_text ?(policy = Policy.default) text =
     List.iter note
       (analyze_objects ~policy ~db:built.Policy_text.db
          ~registry:built.Policy_text.registry ~objects:built.Policy_text.metas ()));
-  { findings = List.rev !findings; spec; built }
+  { findings = Finding.normalize (List.rev !findings); spec; built }
+
+let analyze_chains ?(policy = Policy.default) ~built () =
+  let graph =
+    Callgraph.of_objects ~registry:built.Policy_text.registry
+      ~objects:built.Policy_text.metas
+  in
+  Chain_certify.analyze ~db:built.Policy_text.db ~registry:built.Policy_text.registry
+    ~policy ~objects:built.Policy_text.metas graph

@@ -14,8 +14,9 @@ open Exsec_core
 
 type report = {
   findings : Finding.t list;
-      (** document order within each pass; {!Finding.sort} for
-          severity order *)
+      (** deduplicated and in {!Finding.normalize} order — severity
+          descending, then path/principal/kind/message — so rendered
+          output is deterministic across runs *)
   spec : Policy_text.t;  (** the lenient parse, unsanitized *)
   built : Policy_text.built option;
       (** the sanitized spec's live artifacts, when it builds *)
@@ -37,4 +38,12 @@ val analyze_objects :
   Finding.t list
 (** The semantic passes alone, over live state (e.g. a running
     kernel's name space rendered as [label, metadata] pairs); the flow
-    pass needs [registry]. *)
+    pass needs [registry].  Raw pass order; callers wanting the
+    deterministic report order apply {!Finding.normalize}. *)
+
+val analyze_chains :
+  ?policy:Policy.t -> built:Policy_text.built -> unit -> Chain_certify.report
+(** The interprocedural chain analysis over a built policy: derive the
+    call graph the declared objects induce ({!Callgraph.of_objects}),
+    run the {!Chain_certify} fixpoint, and audit over-privilege
+    against the same graph.  Drives [exsecd analyze --chains]. *)

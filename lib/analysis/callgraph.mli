@@ -1,0 +1,87 @@
+(** The whole-system call graph the chain prover runs over.
+
+    Nodes are plain string identifiers naming the two kinds of places
+    control can sit: {e code} nodes (an extension's implementation, or
+    a principal about to make a call) and {e site} nodes (a callable
+    path in the universal name space — reaching one through an edge
+    carrying a {!site} means passing the reference monitor's checked
+    resolution of that path).  Edges are either {e call sites} (the
+    monitor checks [List] along the recorded chain and [Execute] on
+    the target) or silent {e control transfers} (entering the code a
+    site dispatches to); both may carry a static-class {e cap} that is
+    met into the travelling context's ceiling, exactly as
+    [Subject.with_ceiling] caps the live subject.
+
+    The graph is deliberately built from core types only ([Path],
+    [Meta], [Security_class]) so it can describe both a parsed policy
+    file ({!of_objects}) and a live kernel (the extractor in
+    [Exsec_extsys.Kernel.call_graph]). *)
+
+open Exsec_core
+
+type site = {
+  target : Path.t;
+  chain : Meta.t list;
+      (** every node a checked resolution consults, root-most first,
+          target last; [[]] when the path cannot be resolved (such a
+          site never proves redundant) *)
+}
+
+type edge = {
+  src : string;
+  dst : string;
+  site : site option;  (** [Some] = monitor-checked call; [None] = transfer *)
+  cap : Security_class.t option;
+      (** static ceiling met into the context crossing this edge *)
+  rebinds_caller : bool;
+      (** the transfer changes the calling code unit's identity (event
+          dispatch runs the handler under the {e handler's} name), so
+          certificates minted for the original caller stop applying
+          past this edge *)
+}
+
+type entry = {
+  entry_principal : Principal.individual;
+  entry_node : string;
+  entry_cap : Security_class.t option;
+}
+
+type t = {
+  edges : edge list;
+  entries : entry list;
+}
+
+val empty : t
+
+val code_node : string -> string
+(** Node id for a code unit (extension or service implementation). *)
+
+val site_node : Path.t -> string
+(** Node id for a callable path. *)
+
+val principal_node : Principal.individual -> string
+(** Node id for a principal's own thread of control. *)
+
+val call_edge :
+  ?cap:Security_class.t -> src:string -> target:Path.t -> chain:Meta.t list ->
+  unit -> edge
+(** A monitor-checked call from [src] to [site_node target]. *)
+
+val transfer_edge :
+  ?cap:Security_class.t -> ?rebinds_caller:bool -> src:string -> dst:string ->
+  unit -> edge
+
+val filter_edges : (edge -> bool) -> t -> t
+
+val with_entries : t -> entry list -> t
+
+val of_objects :
+  registry:Clearance.t -> objects:(string * Meta.t) list -> t
+(** The call graph a declared policy induces: every object holding an
+    allow entry that grants [Execute] is a callable site, reached (a)
+    directly by every registered principal, and (b) from its nearest
+    callable strict ancestor — a service dispatching into its own
+    sub-procedures.  A site's chain is the object's declared strict
+    ancestors (undeclared interiors, including the root, are outside
+    the declared policy and not modelled).  Entries are every
+    registered principal, uncapped. *)

@@ -13,15 +13,21 @@ type kind =
   | Dead_grant
   | Flow_channel
   | Unreachable_object
+  | Chain_redundant
+  | Chain_denied
+  | Chain_dependent
+  | Over_privilege
 
 type t = {
   severity : severity;
   kind : kind;
   path : string option;
+  principal : string option;
   message : string;
 }
 
-let make severity kind ?path message = { severity; kind; path; message }
+let make severity kind ?path ?principal message =
+  { severity; kind; path; principal; message }
 
 let severity_rank = function
   | Info -> 0
@@ -49,6 +55,10 @@ let kind_to_string = function
   | Dead_grant -> "dead-grant"
   | Flow_channel -> "flow-channel"
   | Unreachable_object -> "unreachable-object"
+  | Chain_redundant -> "chain-redundant"
+  | Chain_denied -> "chain-denied"
+  | Chain_dependent -> "chain-dependent"
+  | Over_privilege -> "over-privilege"
 
 let at_least threshold findings =
   List.filter (fun f -> severity_rank f.severity >= severity_rank threshold) findings
@@ -58,11 +68,33 @@ let count severity findings = List.length (List.filter (fun f -> f.severity = se
 let sort findings =
   List.stable_sort (fun a b -> compare (severity_rank b.severity) (severity_rank a.severity)) findings
 
+(* Total order over every field — most severe first, then path,
+   principal, kind, message, each ascending with absences first — so
+   [normalize] is deterministic regardless of pass order, and
+   [sort_uniq] under it drops structural duplicates. *)
+let compare_for_output a b =
+  let c = compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.path b.path in
+    if c <> 0 then c
+    else
+      let c = compare a.principal b.principal in
+      if c <> 0 then c
+      else
+        let c = compare (kind_to_string a.kind) (kind_to_string b.kind) in
+        if c <> 0 then c else compare a.message b.message
+
+let normalize findings = List.sort_uniq compare_for_output findings
+
 let pp ppf f =
-  Format.fprintf ppf "%-7s %-22s %s%s"
+  Format.fprintf ppf "%-7s %-22s %s%s%s"
     (severity_to_string f.severity) (kind_to_string f.kind)
     (match f.path with
     | Some path -> path ^ ": "
+    | None -> "")
+    (match f.principal with
+    | Some principal -> "[" ^ principal ^ "] "
     | None -> "")
     f.message
 
@@ -84,7 +116,7 @@ let json_string s =
   Buffer.add_char buffer '"';
   Buffer.contents buffer
 
-let to_json findings =
+let to_json ?(extra = []) findings =
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\"findings\":[";
   List.iteri
@@ -99,6 +131,11 @@ let to_json findings =
         Buffer.add_string buffer ",\"path\":";
         Buffer.add_string buffer (json_string path)
       | None -> ());
+      (match f.principal with
+      | Some principal ->
+        Buffer.add_string buffer ",\"principal\":";
+        Buffer.add_string buffer (json_string principal)
+      | None -> ());
       Buffer.add_string buffer ",\"message\":";
       Buffer.add_string buffer (json_string f.message);
       Buffer.add_char buffer '}')
@@ -107,5 +144,13 @@ let to_json findings =
   Buffer.add_string buffer
     (Printf.sprintf "\"error\":%d,\"warning\":%d,\"info\":%d"
        (count Error findings) (count Warning findings) (count Info findings));
-  Buffer.add_string buffer "}}";
+  Buffer.add_string buffer "}";
+  List.iter
+    (fun (key, raw) ->
+      Buffer.add_char buffer ',';
+      Buffer.add_string buffer (json_string key);
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer raw)
+    extra;
+  Buffer.add_string buffer "}";
   Buffer.contents buffer

@@ -21,15 +21,24 @@ type kind =
   | Dead_grant  (** a DAC grant no cleared subject can ever exercise (MAC) *)
   | Flow_channel  (** a transitive category-to-category downward channel *)
   | Unreachable_object  (** no cleared subject can [List] its way to it *)
+  | Chain_redundant
+      (** a call site's monitor checks are provably redundant along
+          every reaching chain ({!Chain_certify}) *)
+  | Chain_denied  (** a dead edge: provably denied along every chain *)
+  | Chain_dependent  (** a call site whose verdict is runtime dependent *)
+  | Over_privilege
+      (** an ACL grants a principal modes beyond any mode reachable
+          through the call graph *)
 
 type t = {
   severity : severity;
   kind : kind;
   path : string option;  (** the object the finding is about, if any *)
+  principal : string option;  (** the principal it concerns, if any *)
   message : string;
 }
 
-val make : severity -> kind -> ?path:string -> string -> t
+val make : severity -> kind -> ?path:string -> ?principal:string -> string -> t
 
 val severity_rank : severity -> int
 (** [Info] is 0, [Error] is 2. *)
@@ -45,7 +54,21 @@ val count : severity -> t list -> int
 val sort : t list -> t list
 (** Most severe first; stable within a severity. *)
 
+val normalize : t list -> t list
+(** Deduplicate structurally identical findings and impose the one
+    deterministic output order: severity descending, then path,
+    principal, kind and message ascending (absent fields first).
+    [--json] output is stable across runs because every pass's
+    findings go through this. *)
+
 val pp : Format.formatter -> t -> unit
-val to_json : t list -> string
+
+val json_string : string -> string
+(** Escape one string as a JSON literal (shared by the chain report). *)
+
+val to_json : ?extra:(string * string) list -> t list -> string
 (** The whole report as one JSON document:
-    [{"findings":[...],"counts":{"error":n,"warning":n,"info":n}}]. *)
+    [{"findings":[...],"counts":{"error":n,"warning":n,"info":n}}].
+    Each [extra] pair appends a further top-level member whose value
+    is spliced in as raw, already-rendered JSON (the [--chains]
+    records). *)

@@ -625,3 +625,69 @@ let certificate_of kernel name = Hashtbl.find_opt kernel.certificates name
 
 let loaded_extensions kernel =
   Hashtbl.fold (fun name _ acc -> name :: acc) kernel.loaded [] |> List.sort String.compare
+
+(* {1 Call-graph extraction} *)
+
+let call_graph ?(extra = []) kernel =
+  let module Cg = Exsec_analysis.Callgraph in
+  let ns = namespace kernel in
+  let chain_of path =
+    match Namespace.chain ns path with
+    | None -> []
+    | Some nodes -> List.map Namespace.meta nodes
+  in
+  let exts = Hashtbl.fold (fun _ (ext, _) acc -> ext :: acc) kernel.loaded [] @ extra in
+  let edges = ref [] in
+  let add edge = edges := edge :: !edges in
+  List.iter
+    (fun (ext : Extension.t) ->
+      let name = ext.Extension.ext_name in
+      let code = Cg.code_node name in
+      (* Control enters the extension's code through each provided
+         procedure.  No cap: a provide runs under the caller's subject
+         unchanged (invoke_proc), the provider's static class bounds
+         only calls the provider itself initiates. *)
+      List.iter
+        (fun (provided : Extension.provided) ->
+          let path = Path.of_string ("/ext/" ^ name ^ "/" ^ provided.Extension.at) in
+          add (Cg.transfer_edge ~src:(Cg.site_node path) ~dst:code ()))
+        ext.Extension.provides;
+      (* Declared and domain imports are the monitor-checked call
+         sites the extension's code reaches.  Domains expand over the
+         live tree, unchecked: this is analysis, not access. *)
+      let domain_imports =
+        List.concat_map
+          (fun domain ->
+            List.concat_map
+              (fun mount ->
+                match Namespace.find ns mount with
+                | Ok node when Namespace.is_dir node ->
+                  List.filter_map
+                    (fun (_, child) ->
+                      if Namespace.is_dir child then None
+                      else Some (Namespace.path child))
+                    (Namespace.children node)
+                | Ok _ | Error _ -> [])
+              (Domain.interfaces domain))
+          ext.Extension.import_domains
+      in
+      List.iter
+        (fun import ->
+          add (Cg.call_edge ~src:code ~target:import ~chain:(chain_of import) ()))
+        (List.sort_uniq Path.compare (ext.Extension.imports @ domain_imports)))
+    exts;
+  (* Dispatcher wiring: raising an event transfers control into each
+     registered handler, capped by the handler's static class and
+     running under the handler owner's name — certificates minted for
+     the original caller stop applying past such an edge. *)
+  List.iter
+    (fun event ->
+      List.iter
+        (fun (handler : Dispatcher.handler) ->
+          add
+            (Cg.transfer_edge ~cap:handler.Dispatcher.klass ~rebinds_caller:true
+               ~src:(Cg.site_node event)
+               ~dst:(Cg.code_node handler.Dispatcher.owner) ()))
+        (Dispatcher.handlers kernel.dispatcher ~event))
+    (Dispatcher.events kernel.dispatcher);
+  { Cg.edges = List.rev !edges; entries = [] }

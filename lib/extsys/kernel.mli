@@ -245,4 +245,15 @@ val certificate_admits : t -> caller:string -> subject:Subject.t -> Path.t -> bo
 (** [true] when the caller's certificate admits this call right now
     (see {!Exsec_analysis.Certificate.admits}). *)
 
+val call_graph : ?extra:Extension.t list -> t -> Exsec_analysis.Callgraph.t
+(** The live system's call graph: for every loaded extension (plus
+    [extra] — e.g. one being linked right now, not yet in the loaded
+    table), a transfer edge from each provided procedure's site into
+    its code, a monitor-checked call edge from its code to each
+    declared or domain-expanded import (resolution chains snapshotted
+    from the live name space), and a caller-rebinding transfer edge
+    from every event site into each registered handler's code, capped
+    by the handler's static class.  Entries are left empty — the
+    caller decides who enters where ({!Exsec_analysis.Callgraph.with_entries}). *)
+
 val error_of_denial : Resolver.denial -> Service.error

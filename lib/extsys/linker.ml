@@ -5,6 +5,8 @@ let m_links = Metrics.counter "linker.links"
 let m_link_failures = Metrics.counter "linker.link_failures"
 let m_unloads = Metrics.counter "linker.unloads"
 let m_certificates = Metrics.counter "linker.certificates_issued"
+let m_chain_proofs = Metrics.counter "linker.chain_proofs"
+let m_chain_handles = Metrics.counter "linker.chain_handles"
 
 type link_error =
   | Import_denied of { import : Path.t; error : Service.error }
@@ -35,6 +37,11 @@ module Linked = struct
            through it are exactly the access the link authorized *)
     provided_paths : Path.t list;
     certificate : Exsec_analysis.Certificate.t option;
+    chain_table : (Path.t * Handle.h) list;
+        (* provably-redundant transitive call sites (reached through
+           other extensions' provides, never imported directly),
+           pre-minted as capability handles by the chain analysis;
+           generation-stamped like every handle, so drift fails closed *)
   }
 
   let extension linked = linked.extension
@@ -42,6 +49,16 @@ module Linked = struct
   let imports linked = List.map fst linked.import_table
   let provided_paths linked = linked.provided_paths
   let certificate linked = linked.certificate
+  let chain_imports linked = List.map fst linked.chain_table
+
+  let chain_handle linked path =
+    Option.map snd (List.find_opt (fun (p, _) -> Path.equal p path) linked.chain_table)
+
+  let call_chain linked path args =
+    match List.find_opt (fun (p, _) -> Path.equal p path) linked.chain_table with
+    | None ->
+      Error (Service.Unresolved (Path.to_string path ^ ": not a certified chain target"))
+    | Some (_, handle) -> Kernel.call_handle linked.kernel handle args
 
   let subject_for linked subject =
     match linked.extension.Extension.static_class with
@@ -253,19 +270,72 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
     (* With a clearance registry at hand, prove the import set over
        the whole registered session space: imports proved Always_allow
        skip the monitor per call until the proof's state moves
-       (Exsec_analysis.Certificate). *)
-    let certificate =
+       (Exsec_analysis.Certificate).  The chain analysis widens the
+       proof interprocedurally: call sites reachable from this
+       extension's code through other extensions' provides — nested
+       calls carry the original caller's name, so they consult THIS
+       certificate — that prove Always_allow for every registered
+       session are folded into the certificate (soundly: a proof over
+       the full session interval covers every capped sub-session) and
+       pre-minted as capability handles.  Handler-crossing edges are
+       trimmed first: past event dispatch, calls run under the handler
+       owner's name and consult that extension's own certificate. *)
+    let certificate, chain_targets =
       match Kernel.registry kernel with
-      | None -> None
+      | None -> None, []
       | Some registry ->
-        Some
-          (Exsec_analysis.Certificate.issue ~monitor:(Kernel.monitor kernel) ~registry
-             ~namespace:(Kernel.namespace kernel)
-             ?static_class:extension.Extension.static_class ~extension:name
-             ~imports:all_imports ())
+        let module Cg = Exsec_analysis.Callgraph in
+        let graph =
+          Kernel.call_graph ~extra:[ extension ] kernel
+          |> Cg.filter_edges (fun edge -> not edge.Cg.rebinds_caller)
+        in
+        let entries =
+          List.map
+            (fun principal ->
+              {
+                Cg.entry_principal = principal;
+                entry_node = Cg.code_node name;
+                entry_cap = extension.Extension.static_class;
+              })
+            (Clearance.registered registry)
+        in
+        let chain_report =
+          Exsec_analysis.Chain_certify.analyze ~db:(Kernel.db kernel) ~registry
+            ~policy:(Reference_monitor.policy (Kernel.monitor kernel))
+            (Cg.with_entries graph entries)
+        in
+        let transitive =
+          List.filter
+            (fun path -> not (List.exists (Path.equal path) all_imports))
+            (Exsec_analysis.Chain_certify.redundant_targets chain_report)
+        in
+        let certificate =
+          Exsec_analysis.Certificate.issue ~monitor:(Kernel.monitor kernel) ~registry
+            ~namespace:(Kernel.namespace kernel)
+            ?static_class:extension.Extension.static_class ~extension:name
+            ~imports:(all_imports @ transitive) ()
+        in
+        Some certificate, transitive
+    in
+    Metrics.add m_chain_proofs (List.length chain_targets);
+    let chain_table =
+      List.filter_map
+        (fun path ->
+          match Kernel.open_handle kernel ~subject:capped ~caller:name path with
+          | Ok handle ->
+            Metrics.incr m_chain_handles;
+            Some (path, handle)
+          | Error _ ->
+            (* the proved state moved between analysis and mint: fail
+               closed, the checked path still covers the site *)
+            None)
+        chain_targets
     in
     let linked =
-      { Linked.kernel; extension; import_table; provided_paths = installed; certificate }
+      {
+        Linked.kernel; extension; import_table; provided_paths = installed;
+        certificate; chain_table;
+      }
     in
     let finish () =
       Kernel.note_loaded kernel extension ~installed;

@@ -80,6 +80,24 @@ module Linked : sig
       monitor work while the grant's generation coordinates hold,
       failing closed into the checked path on any drift.  Unloading
       the extension closes every import handle. *)
+
+  val chain_imports : t -> Path.t list
+  (** The provably-redundant {e transitive} call sites the chain
+      analysis ({!Exsec_analysis.Chain_certify}) pre-minted at link
+      time: targets reachable from this extension's code through other
+      extensions' provides (never imported directly) whose monitor
+      checks proved [Always_allow] for every registered session.
+      Empty without a clearance registry. *)
+
+  val chain_handle : t -> Path.t -> Handle.h option
+  (** The pre-minted capability handle for a chain target.  Closed
+      (with every other handle of this caller) on unload. *)
+
+  val call_chain :
+    t -> Path.t -> Value.t list -> (Value.t, Service.error) result
+  (** Call a pre-minted chain target through its handle — the same
+      45ns fast path as {!call_import}, failing closed on any drift
+      (policy epoch bump, ACL or membership churn). *)
 end
 
 val link :

@@ -269,9 +269,112 @@ let test_domain_union () =
   check "member under mount" true (Domain.member u (Path.of_string "/svc/x/proc"));
   check "not member" false (Domain.member u (Path.of_string "/svc/z"))
 
+(* {1 Chain-proof lifecycle}
+
+   With a clearance registry the linker consumes the interprocedural
+   chain proofs: provably-redundant transitive targets are folded into
+   the certificate and pre-minted as handles.  Unload and epoch drift
+   must revoke both — a pre-minted grant never outlives the state it
+   was proved against. *)
+
+let boot_chained () =
+  let db = Principal.Db.create () in
+  let admin = Principal.individual "admin" in
+  let alice = Principal.individual "alice" in
+  Principal.Db.add_individual db admin;
+  Principal.Db.add_individual db alice;
+  let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+  let universe = Category.universe [] in
+  let bottom = Security_class.bottom hierarchy universe in
+  let registry = Clearance.create () in
+  Clearance.register registry ~trusted:true admin (Security_class.top hierarchy universe);
+  Clearance.register registry alice bottom;
+  let kernel =
+    Kernel.boot
+      ~policy:(Policy.with_recheck Policy.default)
+      ~registry ~db ~admin ~hierarchy ~universe ()
+  in
+  let store = Path.of_string "/svc/get" in
+  let store_meta = Kernel.default_meta kernel ~owner:admin () in
+  (match
+     Kernel.install_proc kernel ~subject:(Kernel.admin_subject kernel) store
+       ~meta:store_meta
+       (Service.proc "get" 0 (Service.const (Value.int 7)))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup get: %s" (Service.error_to_string e));
+  let alice_sub = Subject.make alice bottom in
+  let provider =
+    Extension.make ~name:"b" ~author:alice ~imports:[ store ]
+      ~provides:
+        [ Extension.provided "fetch" 0 (fun ctx _args -> ctx.Service.call store []) ]
+      ()
+  in
+  let _ = ok "link b" (Linker.link kernel ~subject:alice_sub provider) in
+  let caller =
+    Extension.make ~name:"a" ~author:alice
+      ~imports:[ Path.of_string "/ext/b/fetch" ] ()
+  in
+  let linked = ok "link a" (Linker.link kernel ~subject:alice_sub caller) in
+  kernel, alice_sub, store, store_meta, linked
+
+let is_use_after_close = function
+  | Error (Service.Denied { denial = Decision.Not_an_object; _ }) -> true
+  | Ok _ | Error _ -> false
+
+let test_unload_revokes_chain_grants () =
+  let kernel, alice_sub, store, _, linked = boot_chained () in
+  check "chain target pre-minted" true
+    (List.exists (Path.equal store) (Linker.Linked.chain_imports linked));
+  check "chain call serves" true (Linker.Linked.call_chain linked store [] = Ok (Value.int 7));
+  (match Linker.unload kernel ~subject:alice_sub "a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unload: %s" (Service.error_to_string e));
+  (* The pre-minted handle died with the extension... *)
+  check "unload closed the chain handle" true
+    (is_use_after_close (Linker.Linked.call_chain linked store []));
+  (* ...and so did the widened certificate. *)
+  check "chain certificate dropped" true (Kernel.certificate_of kernel "a" = None);
+  check "no fast path for the departed caller" false
+    (Kernel.certificate_admits kernel ~caller:"a" ~subject:alice_sub store)
+
+let test_epoch_bump_fails_chain_closed () =
+  let kernel, alice_sub, store, store_meta, linked = boot_chained () in
+  let monitor = Kernel.monitor kernel in
+  let audit = Reference_monitor.audit monitor in
+  check "chain call serves" true (Linker.Linked.call_chain linked store [] = Ok (Value.int 7));
+  check "certificate admits before the bump" true
+    (Kernel.certificate_admits kernel ~caller:"a" ~subject:alice_sub store);
+  (* Epoch bump with the SAME policy: every pre-minted grant and the
+     widened certificate stop validating at once.  The next chain call
+     falls into the fully checked, audited path — and re-mints, since
+     the access is still admitted. *)
+  Reference_monitor.set_policy monitor (Reference_monitor.policy monitor);
+  check "certificate stale after the bump" false
+    (Kernel.certificate_admits kernel ~caller:"a" ~subject:alice_sub store);
+  let t0 = Audit.total audit in
+  check "checked path still grants" true
+    (Linker.Linked.call_chain linked store [] = Ok (Value.int 7));
+  check "the re-check was audited" true (Audit.total audit > t0);
+  (* Mid-chain revocation: close the target's ACL, bump the epoch
+     again — the pre-minted handle must deny, never grant from cache. *)
+  Meta.set_acl_raw store_meta
+    (Acl.of_entries [ Acl.allow Acl.Everyone [ Access_mode.List ] ]);
+  Reference_monitor.set_policy monitor (Reference_monitor.policy monitor);
+  let d0 = Audit.denied_total audit in
+  (match Linker.Linked.call_chain linked store [] with
+  | Error (Service.Denied _) -> ()
+  | Ok _ -> Alcotest.fail "revoked chain grant served from cache"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Service.error_to_string e));
+  check "the denial was audited" true (Audit.denied_total audit > d0)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "domain imports" `Quick test_domain_imports;
       Alcotest.test_case "domain union" `Quick test_domain_union;
+      Alcotest.test_case "unload revokes chain grants" `Quick
+        test_unload_revokes_chain_grants;
+      Alcotest.test_case "epoch bump fails chain closed" `Quick
+        test_epoch_bump_fails_chain_closed;
     ]
