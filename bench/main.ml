@@ -34,6 +34,8 @@ let experiments =
     "s1q", "s1 smoke: 1-2 domains, short streams", Scaling.s1q;
     "s2", "end-to-end served RPS vs client domains (loopback)", Scaling.s2;
     "s2q", "s2 smoke: 1-2 clients, short", Scaling.s2q;
+    "s3", "million-principal control plane: import, snapshot delta, latency", Population.s3;
+    "s3q", "s3 smoke: reduced population, same shape", Population.s3q;
   ]
 
 let list_experiments () =

@@ -22,15 +22,30 @@
 
 type t
 
+val dense_limit : int
+(** Registered-individual count above which {!compile} switches from
+    the dense (mask-per-individual) form to the sparse (entry-table)
+    form; exposed so tests and benchmarks can build worlds on either
+    side of the cut. *)
+
 type verdict =
   | Granted
   | Denied
   | No_entry
 
 val compile : db:Principal.Db.t -> Acl.t -> t
-(** Compile [acl] against the database's current snapshot.  Cost is
-    O(entries + individuals x group entries); intended for the miss
-    path, with the result cached on the object's metadata. *)
+(** Compile [acl] against the database's current snapshot.  Below a
+    few thousand registered individuals the form is {e dense} — one
+    mask word per individual, group entries pre-flattened through the
+    snapshot's closure rows, so compile costs O(entries + total
+    closure size + population) and a check is two array loads.  Above
+    that, the form is {e sparse} — the interned, sorted entries
+    themselves — so compile costs O(entries log entries) and O(entries)
+    memory regardless of population, and a check resolves group
+    entries against the subject's sorted snapshot row.  Both forms
+    decide identically; the cut keeps a compiled ACL cacheable on
+    every object's metadata even at 10^6 principals.  Intended for the
+    miss path, with the result cached on the object's metadata. *)
 
 val check : t -> subject:Principal.individual -> mode:Access_mode.t -> verdict
 (** Decide [subject] requesting [mode].  Agrees with {!Acl.check} on

@@ -9,7 +9,12 @@ and 'a node = {
   kind : 'a kind;
 }
 
-type 'a t = { root_node : 'a node }
+type 'a t = {
+  root_node : 'a node;
+  mutable node_count : int;
+      (* total nodes including the root, maintained by add/remove so
+         [size] never walks the tree *)
+}
 
 type error =
   | Not_found of Path.t
@@ -34,6 +39,7 @@ let create ~root_meta () =
         node_meta = root_meta;
         kind = Dir (Hashtbl.create 16);
       };
+    node_count = 1;
   }
 
 let root tree = tree.root_node
@@ -73,29 +79,43 @@ let chain tree target =
   in
   walk tree.root_node [] (Path.segments target)
 
+(* Insertion under an already-resolved parent node: the bulk-populate
+   path.  A path-addressed insert re-walks from the root (O(depth));
+   building a 10^5-node tree that way costs O(nodes x depth), so the
+   population workload holds the parent and inserts children in O(1). *)
+let add_child tree parent name ~meta kind_of_path =
+  match parent.kind with
+  | Leaf _ -> Error (Not_a_directory parent.node_path)
+  | Dir table ->
+    let target = Path.child parent.node_path name in
+    if Hashtbl.mem table name then Error (Already_exists target)
+    else begin
+      let node =
+        {
+          node_path = target;
+          node_label = Path.to_string target;
+          node_meta = meta;
+          kind = kind_of_path ();
+        }
+      in
+      Hashtbl.add table name node;
+      tree.node_count <- tree.node_count + 1;
+      Ok node
+    end
+
+let add_dir_at tree parent name ~meta =
+  add_child tree parent name ~meta (fun () -> Dir (Hashtbl.create 8))
+
+let add_leaf_at tree parent name ~meta payload =
+  add_child tree parent name ~meta (fun () -> Leaf payload)
+
 let add_node tree target ~meta kind_of_path =
   match Path.parent target, Path.basename target with
   | None, _ | _, None -> Error (Already_exists Path.root)
   | Some parent_path, Some name -> (
     match find tree parent_path with
     | Error e -> Error e
-    | Ok parent -> (
-      match parent.kind with
-      | Leaf _ -> Error (Not_a_directory parent_path)
-      | Dir table ->
-        if Hashtbl.mem table name then Error (Already_exists target)
-        else begin
-          let node =
-            {
-              node_path = target;
-              node_label = Path.to_string target;
-              node_meta = meta;
-              kind = kind_of_path ();
-            }
-          in
-          Hashtbl.add table name node;
-          Ok node
-        end))
+    | Ok parent -> add_child tree parent name ~meta kind_of_path)
 
 let add_dir tree target ~meta =
   add_node tree target ~meta (fun () -> Dir (Hashtbl.create 8))
@@ -118,6 +138,7 @@ let remove tree target =
           Error (Directory_not_empty target)
         | Some _ ->
           Hashtbl.remove table name;
+          tree.node_count <- tree.node_count - 1;
           Ok ())))
 
 let meta node = node.node_meta
@@ -152,4 +173,4 @@ let fold tree ~init ~f =
   iter tree (fun node -> acc := f !acc node);
   !acc
 
-let size tree = fold tree ~init:0 ~f:(fun n _ -> n + 1)
+let size tree = tree.node_count

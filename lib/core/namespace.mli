@@ -32,6 +32,16 @@ val add_dir : 'a t -> Path.t -> meta:Meta.t -> ('a node, error) result
 
 val add_leaf : 'a t -> Path.t -> meta:Meta.t -> 'a -> ('a node, error) result
 
+val add_dir_at : 'a t -> 'a node -> string -> meta:Meta.t -> ('a node, error) result
+(** [add_dir_at tree parent name ~meta] creates a directory child of
+    the already-resolved [parent] node in O(1) — no path re-walk from
+    the root.  The bulk-populate primitive: building an n-node tree
+    through the path-addressed {!add_dir} costs O(n x depth); through
+    this, O(n).  [parent] must belong to [tree]. *)
+
+val add_leaf_at : 'a t -> 'a node -> string -> meta:Meta.t -> 'a -> ('a node, error) result
+(** Leaf counterpart of {!add_dir_at}. *)
+
 val find : 'a t -> Path.t -> ('a node, error) result
 val mem : 'a t -> Path.t -> bool
 
@@ -64,7 +74,8 @@ val children : 'a node -> (string * 'a node) list
 (** Sorted by name; [[]] for leaves. *)
 
 val size : 'a t -> int
-(** Total number of nodes, root included. *)
+(** Total number of nodes, root included.  O(1): a counter maintained
+    by insertion and removal, not a tree fold. *)
 
 val iter : 'a t -> ('a node -> unit) -> unit
 (** Preorder traversal over every node. *)

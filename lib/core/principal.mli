@@ -61,7 +61,35 @@ module Db : sig
       first, the bump after, so a reader that sees the bumped value
       also sees the new membership.  Consumers must read the
       generation {e before} walking memberships and file any derived
-      result under that pre-read value. *)
+      result under that pre-read value.
+
+      Inside a {!batch} the bump is deferred: every mutation of the
+      batch publishes under {e one} increment at the outermost batch
+      exit, so derived artifacts (decision-cache entries, compiled
+      ACLs, link-time certificates, capability handles) are
+      invalidated once per batch instead of once per mutation. *)
+
+  val batch : t -> (unit -> 'a) -> 'a
+  (** [batch db f] runs [f], coalescing every generation bump its
+      mutations would publish into a single increment when the
+      outermost batch exits — the transaction a bulk import runs
+      under, so a million-member population invalidates certificates
+      once, not a million times.  Mutations inside the batch still
+      land eagerly (validation, cycle rejection and idempotence are
+      unchanged); only publication is deferred.  Nested batches
+      coalesce into the outermost one.  If [f] raises, mutations
+      already applied are still published (one bump) before the
+      exception is re-raised, so no cached decision can outlive them.
+
+      Readers in other domains during the batch see the {e previous}
+      published state through any generation-validated artifact (the
+      snapshot, compiled ACLs, cached decisions): data written by the
+      batch only becomes observable-as-current at the final bump, per
+      the data-then-generation contract.  Batches do not nest across
+      domains; mutators are externally serialized as before. *)
+
+  val in_batch : t -> bool
+  (** [true] while inside a {!batch} callback (same domain). *)
 
   val add_individual : t -> individual -> unit
   (** Register an individual.  Idempotent. *)
@@ -83,6 +111,9 @@ module Db : sig
   val individuals : t -> individual list
   (** All registered individuals, sorted by name. *)
 
+  val individual_count : t -> int
+  (** Number of registered individuals; O(1). *)
+
   val groups : t -> group list
   (** All registered groups, sorted by name. *)
 
@@ -93,14 +124,26 @@ module Db : sig
   (** Transitive membership test. *)
 
   val groups_of : t -> individual -> group list
-  (** Every group the individual belongs to, transitively; sorted. *)
+  (** Every group the individual belongs to, transitively; sorted.
+      Routed through the current {!Snapshot} (one id probe plus the
+      individual's precomputed row) rather than a transitive walk per
+      registered group; the first call after churn pays the snapshot
+      refresh, which scales with the churn delta. *)
 
   (** A frozen, generation-stamped view of the database for the
       compiled decision path ({!Acl_compiled}): registered individuals
       and groups interned to dense integer ids, transitive group
-      membership flattened into one closed bitset row per individual.
-      Snapshots are immutable after construction and may be probed
-      from any domain without locking; their probes never allocate. *)
+      membership flattened into one sorted group-id row per individual
+      (and the inverse closure row per group).  Snapshots are
+      immutable after construction and may be probed from any domain
+      without locking; their probes never allocate.
+
+      Consecutive snapshots share structure: when no principal was
+      registered in between, a refresh recomputes only the closures
+      reachable from groups whose member list changed (via the
+      reverse-membership index) and shares every untouched row and
+      both intern tables with its predecessor, so refresh cost scales
+      with the churn delta, not the population. *)
   module Snapshot : sig
     type t
 
@@ -123,9 +166,23 @@ module Db : sig
     (** The group's dense id, or [-1] when unknown at snapshot time. *)
 
     val is_member : t -> individual_id:int -> group_id:int -> bool
-    (** Transitive membership as of the snapshot: one word load and a
-        bit test.  Out-of-range ids (including [-1]) are members of
-        nothing. *)
+    (** Transitive membership as of the snapshot: a binary probe of
+        the individual's sorted group row, allocation-free.
+        Out-of-range ids (including [-1]) are members of nothing. *)
+
+    val iter_group_members : t -> group_id:int -> (int -> unit) -> unit
+    (** Apply [f] to the dense individual id of every member of the
+        group's transitive closure, in ascending id order.  Lets
+        {!Acl_compiled.compile} cost O(closure) per group entry
+        instead of probing the whole population.  Out-of-range group
+        ids iterate nothing. *)
+
+    val group_member_count : t -> group_id:int -> int
+    (** Size of the group's transitive closure (0 when out of range). *)
+
+    val group_ids_of : t -> individual_id:int -> int array
+    (** A fresh copy of the individual's sorted group row ([[||]] when
+        out of range). *)
   end
 
   val snapshot : t -> Snapshot.t
@@ -134,5 +191,19 @@ module Db : sig
       {e before} walking memberships, so a racing mutation leaves the
       result stamped with the older generation and it is rebuilt on
       the next call — the same data-then-generation discipline as
-      {!Meta} and the decision cache. *)
+      {!Meta} and the decision cache.
+
+      Refreshes are incremental whenever the registered population is
+      unchanged since the previous snapshot: cost scales with the
+      groups dirtied since then (see {!Snapshot}).  Registering new
+      individuals or groups falls back to a full rebuild, as does a
+      churn that dirtied most of the groups — past that point the
+      straight rebuild is the cheaper path, so delta refresh cost is
+      bounded by full-rebuild cost. *)
+
+  val full_snapshot : t -> Snapshot.t
+  (** Always rebuilds from scratch, bypassing the cached snapshot and
+      the delta path, and does not publish the result.  The seed
+      semantics the incremental path is held to — for differential
+      tests and the S3 benchmark; not for production use. *)
 end

@@ -84,6 +84,8 @@ let namespace kernel = Resolver.namespace kernel.resolver
 let dispatcher kernel = kernel.dispatcher
 let sched kernel = kernel.sched
 let db kernel = Reference_monitor.db kernel.monitor
+
+let batch_principals kernel f = Principal.Db.batch (Reference_monitor.db kernel.monitor) f
 let hierarchy kernel = kernel.hierarchy
 let universe kernel = kernel.universe
 let registry kernel = kernel.registry

@@ -63,6 +63,17 @@ val namespace : t -> entry Namespace.t
 val dispatcher : t -> Dispatcher.t
 val sched : t -> Sched.t
 val db : t -> Principal.Db.t
+
+val batch_principals : t -> (unit -> 'a) -> 'a
+(** {!Principal.Db.batch} over the kernel's database: run a bulk
+    membership mutation under one deferred generation bump, so every
+    derived artifact the kernel holds — decision-cache entries,
+    compiled ACLs, link-time certificates, capability handles — is
+    invalidated exactly once at the batch end instead of once per
+    mutation.  The fast paths' pre-read stamps observe the batch as a
+    single drift; they fail closed into the checked path once and
+    re-mint against the settled state. *)
+
 val hierarchy : t -> Level.hierarchy
 val universe : t -> Category.universe
 

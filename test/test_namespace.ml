@@ -134,9 +134,55 @@ let prop_insert_then_find =
       in
       List.for_all (Namespace.mem ns) inserted)
 
+let test_counter_size () =
+  (* [size] is a maintained counter now; hold it to the fold it
+     replaced across adds, failed adds and removes. *)
+  let ns = make () in
+  let folded () = Namespace.fold ns ~init:0 ~f:(fun n _ -> n + 1) in
+  let agree label = Alcotest.(check int) label (folded ()) (Namespace.size ns) in
+  agree "fresh";
+  let _ = ok "a" (Namespace.add_dir ns (Path.of_string "/a") ~meta:(meta ())) in
+  let _ = ok "x" (Namespace.add_leaf ns (Path.of_string "/a/x") ~meta:(meta ()) 1) in
+  agree "after adds";
+  (match Namespace.add_leaf ns (Path.of_string "/a/x") ~meta:(meta ()) 2 with
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+  | Error _ -> ());
+  agree "failed add does not count";
+  (match Namespace.remove ns (Path.of_string "/a") with
+  | Ok () -> Alcotest.fail "non-empty dir removed"
+  | Error _ -> ());
+  agree "failed remove does not count";
+  let () = ok "rm x" (Namespace.remove ns (Path.of_string "/a/x")) in
+  let () = ok "rm a" (Namespace.remove ns (Path.of_string "/a")) in
+  agree "after removes";
+  Alcotest.(check int) "back to just the root" 1 (Namespace.size ns)
+
+let test_add_at_parent () =
+  (* The O(1) bulk-populate inserts: children of an already-resolved
+     parent, no path re-walk — and the same error discipline as the
+     path-addressed inserts. *)
+  let ns = make () in
+  let dir = ok "dir" (Namespace.add_dir_at ns (Namespace.root ns) "a" ~meta:(meta ())) in
+  let leaf = ok "leaf" (Namespace.add_leaf_at ns dir "x" ~meta:(meta ()) 7) in
+  check "path composed from parent" true
+    (Path.equal (Namespace.path leaf) (Path.of_string "/a/x"));
+  check "findable through the tree" true (Namespace.mem ns (Path.of_string "/a/x"));
+  Alcotest.(check int) "counted" 3 (Namespace.size ns);
+  (match Namespace.add_dir_at ns (Namespace.root ns) "a" ~meta:(meta ()) with
+  | Ok _ -> Alcotest.fail "duplicate child accepted"
+  | Error (Namespace.Already_exists _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Namespace.pp_error e);
+  (match Namespace.add_dir_at ns leaf "y" ~meta:(meta ()) with
+  | Ok _ -> Alcotest.fail "child of a leaf accepted"
+  | Error (Namespace.Not_a_directory _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Namespace.pp_error e);
+  Alcotest.(check int) "failures uncounted" 3 (Namespace.size ns)
+
 let suite =
   [
     Alcotest.test_case "add and find" `Quick test_add_and_find;
+    Alcotest.test_case "size counter tracks the fold" `Quick test_counter_size;
+    Alcotest.test_case "insert under a resolved parent" `Quick test_add_at_parent;
     Alcotest.test_case "find root" `Quick test_find_root;
     Alcotest.test_case "missing parent" `Quick test_missing_parent;
     Alcotest.test_case "duplicate" `Quick test_duplicate;
