@@ -6,10 +6,15 @@ and 'a node = {
   node_path : Path.t;
   node_label : string;  (* node_path rendered once, for audit records *)
   node_meta : Meta.t;
+  node_tree : int;
+      (* id of the owning tree: add_child checks it so an insert under
+         a node resolved from a different tree cannot silently mutate
+         that tree while corrupting this tree's node_count *)
   kind : 'a kind;
 }
 
 type 'a t = {
+  tree_id : int;
   root_node : 'a node;
   mutable node_count : int;
       (* total nodes including the root, maintained by add/remove so
@@ -30,13 +35,18 @@ let pp_error ppf = function
   | Is_a_directory path -> Format.fprintf ppf "%a: is a directory" Path.pp path
   | Directory_not_empty path -> Format.fprintf ppf "%a: directory not empty" Path.pp path
 
+let tree_ids = Atomic.make 0
+
 let create ~root_meta () =
+  let tree_id = Atomic.fetch_and_add tree_ids 1 in
   {
+    tree_id;
     root_node =
       {
         node_path = Path.root;
         node_label = Path.to_string Path.root;
         node_meta = root_meta;
+        node_tree = tree_id;
         kind = Dir (Hashtbl.create 16);
       };
     node_count = 1;
@@ -84,6 +94,11 @@ let chain tree target =
    building a 10^5-node tree that way costs O(nodes x depth), so the
    population workload holds the parent and inserts children in O(1). *)
 let add_child tree parent name ~meta kind_of_path =
+  if parent.node_tree <> tree.tree_id then
+    invalid_arg
+      (Printf.sprintf
+         "Namespace.add_child: parent %s belongs to a different tree"
+         parent.node_label);
   match parent.kind with
   | Leaf _ -> Error (Not_a_directory parent.node_path)
   | Dir table ->
@@ -95,6 +110,7 @@ let add_child tree parent name ~meta kind_of_path =
           node_path = target;
           node_label = Path.to_string target;
           node_meta = meta;
+          node_tree = tree.tree_id;
           kind = kind_of_path ();
         }
       in

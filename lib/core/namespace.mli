@@ -37,7 +37,11 @@ val add_dir_at : 'a t -> 'a node -> string -> meta:Meta.t -> ('a node, error) re
     the already-resolved [parent] node in O(1) — no path re-walk from
     the root.  The bulk-populate primitive: building an n-node tree
     through the path-addressed {!add_dir} costs O(n x depth); through
-    this, O(n).  [parent] must belong to [tree]. *)
+    this, O(n).
+    @raise Invalid_argument if [parent] does not belong to [tree] —
+    enforced (nodes carry their owning tree's id), since inserting
+    under a foreign node would mutate that tree while corrupting both
+    trees' {!size}. *)
 
 val add_leaf_at : 'a t -> 'a node -> string -> meta:Meta.t -> 'a -> ('a node, error) result
 (** Leaf counterpart of {!add_dir_at}. *)

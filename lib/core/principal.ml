@@ -75,6 +75,13 @@ module Db = struct
            contents change during churn, mirroring [members]. *)
     generation : int Atomic.t;
     snapshot_slot : snapshot option Atomic.t;
+    batch_epoch : int Atomic.t;
+        (* seqlock-style batch marker: odd while the outermost batch is
+           in flight (incremented at entry and again at exit, after the
+           final generation bump).  [snapshot] reads it around every
+           rebuild: a rebuild that overlaps a batch may have walked
+           partially applied member lists under an unmoved generation,
+           so it must not be published or served as current. *)
     mutable batch_depth : int;
     mutable batch_pending : bool;
   }
@@ -88,6 +95,7 @@ module Db = struct
       dirty = Hashtbl.create 16;
       generation = Atomic.make 0;
       snapshot_slot = Atomic.make None;
+      batch_epoch = Atomic.make 0;
       batch_depth = 0;
       batch_pending = false;
     }
@@ -151,14 +159,22 @@ module Db = struct
     | None -> Hashtbl.add db.dirty grp (ref (Atomic.get db.generation + 1))
 
   let batch db f =
+    (* The epoch goes odd BEFORE any batch mutation can land and even
+       again only AFTER the final generation bump, so a snapshot
+       builder that saw an even epoch on both sides of its membership
+       walk is guaranteed no batch overlapped the walk. *)
+    if db.batch_depth = 0 then Atomic.incr db.batch_epoch;
     db.batch_depth <- db.batch_depth + 1;
     Fun.protect f ~finally:(fun () ->
         db.batch_depth <- db.batch_depth - 1;
-        if db.batch_depth = 0 && db.batch_pending then begin
-          db.batch_pending <- false;
-          (* Every member-list write and dirty mark of the batch is
-             already in place: the single bump publishes them all. *)
-          Atomic.incr db.generation
+        if db.batch_depth = 0 then begin
+          if db.batch_pending then begin
+            db.batch_pending <- false;
+            (* Every member-list write and dirty mark of the batch is
+               already in place: the single bump publishes them all. *)
+            Atomic.incr db.generation
+          end;
+          Atomic.incr db.batch_epoch
         end)
 
   let in_batch db = db.batch_depth > 0
@@ -491,32 +507,76 @@ module Db = struct
   let full_snapshot db =
     build_snapshot db ~generation:(Atomic.get db.generation)
 
-  let snapshot db =
-    (* Generation is read BEFORE the membership walk (the standard
-       data-then-generation discipline, see Meta): a mutation racing
-       with the build lands a higher generation than the stamp, so the
-       stale snapshot fails the comparison on its next use and is
-       rebuilt.  Publishing with a plain set is safe — two racing
-       builders both produce correct snapshots for the generation they
-       read, and every compiled ACL holds a reference to the exact
-       snapshot it was compiled against. *)
+  (* Install via compare-and-set, and only when strictly newer than
+     the incumbent: two racing reader domains can finish builds out of
+     order, and letting the older build overwrite a fresher cached
+     snapshot would force the next caller into yet another rebuild. *)
+  let rec install_snapshot db snap =
+    let cur = Atomic.get db.snapshot_slot in
+    match cur with
+    | Some incumbent when incumbent.snap_generation >= snap.snap_generation -> ()
+    | Some _ | None ->
+      if not (Atomic.compare_and_set db.snapshot_slot cur (Some snap)) then
+        install_snapshot db snap
+
+  let rec snapshot db =
+    (* The batch epoch is read first, the generation second, both
+       BEFORE the membership walk (the standard data-then-generation
+       discipline, see Meta): a non-batched mutation racing with the
+       build lands a higher generation than the stamp, so the stale
+       snapshot fails the comparison on its next use and is rebuilt.
+
+       Batched mutations need the epoch guard on top: they land data
+       under an UNMOVED generation (the single bump is deferred to the
+       outermost batch exit), so a rebuild overlapping a batch could
+       stamp partially applied batch state with a generation that
+       stays current until the batch ends.  Hence no rebuild result is
+       published or returned unless the epoch was even — no batch in
+       flight — on both sides of the walk; mid-batch readers are
+       served the incumbent cached snapshot instead, which is exactly
+       the previous published state the batch contract promises
+       them. *)
+    let epoch = Atomic.get db.batch_epoch in
     let generation = Atomic.get db.generation in
     match Atomic.get db.snapshot_slot with
     | Some snap when snap.snap_generation = generation -> snap
     | prev_slot ->
-      let snap =
+      if epoch land 1 = 1 then begin
         match prev_slot with
-        | Some prev
-          when prev.id_count = db.individual_count
-               && prev.group_count = Hashtbl.length db.members -> (
-          (* Same registered population: rebuild only what the churn
-             since [prev] touched. *)
-          try build_delta db ~generation ~prev
-          with Not_found -> build_snapshot db ~generation)
-        | Some _ | None -> build_snapshot db ~generation
-      in
-      Atomic.set db.snapshot_slot (Some snap);
-      snap
+        | Some prev -> prev  (* stale by generation; never validates as current *)
+        | None ->
+          (* Nothing was ever published: build from the live lists but
+             stamp the result born-stale (below the pre-batch
+             generation), so no artifact minted from it can validate
+             once — or while — the batch publishes.  Not installed in
+             the slot: a partial-state snapshot must not seed later
+             delta rebuilds. *)
+          build_snapshot db ~generation:(generation - 1)
+      end
+      else begin
+        let snap =
+          match prev_slot with
+          | Some prev
+            when prev.id_count = db.individual_count
+                 && prev.group_count = Hashtbl.length db.members -> (
+            (* Same registered population: rebuild only what the churn
+               since [prev] touched. *)
+            try build_delta db ~generation ~prev
+            with Not_found -> build_snapshot db ~generation)
+          | Some _ | None -> build_snapshot db ~generation
+        in
+        if Atomic.get db.batch_epoch <> epoch then
+          (* A batch entered (or came and went) during the walk: the
+             build may hold partial batch state under a stamp the
+             batch has yet to invalidate.  Discard it and re-decide —
+             the retry either serves the incumbent (batch still in
+             flight) or rebuilds from settled lists. *)
+          snapshot db
+        else begin
+          install_snapshot db snap;
+          snap
+        end
+      end
 
   let groups_of db ind =
     (* Routed through the snapshot: one id probe plus the individual's

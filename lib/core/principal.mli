@@ -85,8 +85,16 @@ module Db : sig
       published state through any generation-validated artifact (the
       snapshot, compiled ACLs, cached decisions): data written by the
       batch only becomes observable-as-current at the final bump, per
-      the data-then-generation contract.  Batches do not nest across
-      domains; mutators are externally serialized as before. *)
+      the data-then-generation contract.  {!snapshot} enforces this
+      even when its cache is stale at batch entry: while a batch is in
+      flight it serves the previously published snapshot rather than
+      rebuilding from the half-applied live lists, so no snapshot
+      stamped as current can ever expose partial batch state (this
+      covers same-domain calls from inside [f] too — the batch's own
+      writes are invisible through the snapshot until the final bump).
+      Live walks ({!is_member}, {!direct_members}) read the eager data
+      and are not isolated.  Batches do not nest across domains;
+      mutators are externally serialized as before. *)
 
   val in_batch : t -> bool
   (** [true] while inside a {!batch} callback (same domain). *)
@@ -192,6 +200,13 @@ module Db : sig
       result stamped with the older generation and it is rebuilt on
       the next call — the same data-then-generation discipline as
       {!Meta} and the decision cache.
+
+      While a {!batch} is in flight no rebuild is published: callers
+      are served the previously published snapshot (stale by
+      generation, so artifacts minted from it never validate past the
+      batch), and a rebuild that raced with a batch entry or exit is
+      discarded and retried.  Batch writes therefore cannot leak into
+      a snapshot that validates as current — see {!batch}.
 
       Refreshes are incremental whenever the registered population is
       unchanged since the previous snapshot: cost scales with the

@@ -178,11 +178,33 @@ let test_add_at_parent () =
   | Error e -> Alcotest.failf "wrong error: %a" Namespace.pp_error e);
   Alcotest.(check int) "failures uncounted" 3 (Namespace.size ns)
 
+let test_add_at_foreign_parent () =
+  (* A parent resolved from a DIFFERENT tree is rejected outright:
+     accepting it would mutate the other tree's structure while
+     incrementing this tree's node counter, silently corrupting the
+     size of both. *)
+  let ns = make () in
+  let other = make () in
+  let foreign = ok "other dir" (Namespace.add_dir_at other (Namespace.root other) "a" ~meta:(meta ())) in
+  (match Namespace.add_dir_at ns foreign "b" ~meta:(meta ()) with
+  | (exception Invalid_argument _) -> ()
+  | Ok _ -> Alcotest.fail "foreign parent accepted"
+  | Error e -> Alcotest.failf "error instead of rejection: %a" Namespace.pp_error e);
+  (match Namespace.add_leaf_at ns foreign "x" ~meta:(meta ()) 1 with
+  | (exception Invalid_argument _) -> ()
+  | Ok _ -> Alcotest.fail "foreign parent accepted"
+  | Error e -> Alcotest.failf "error instead of rejection: %a" Namespace.pp_error e);
+  Alcotest.(check int) "this tree unchanged" 1 (Namespace.size ns);
+  Alcotest.(check int) "other tree unchanged" 2 (Namespace.size other);
+  check "nothing appeared under the foreign node" false
+    (Namespace.mem other (Path.of_string "/a/b"))
+
 let suite =
   [
     Alcotest.test_case "add and find" `Quick test_add_and_find;
     Alcotest.test_case "size counter tracks the fold" `Quick test_counter_size;
     Alcotest.test_case "insert under a resolved parent" `Quick test_add_at_parent;
+    Alcotest.test_case "foreign parent rejected" `Quick test_add_at_foreign_parent;
     Alcotest.test_case "find root" `Quick test_find_root;
     Alcotest.test_case "missing parent" `Quick test_missing_parent;
     Alcotest.test_case "duplicate" `Quick test_duplicate;

@@ -175,6 +175,53 @@ let test_readers_see_published_state_during_batch () =
        ~individual_id:(Principal.Db.Snapshot.individual_id after inds.(1))
        ~group_id:(Principal.Db.Snapshot.group_id after grps.(0)))
 
+let test_stale_slot_batch_isolation () =
+  (* The cached slot is STALE when the batch starts (churn landed
+     after the last build).  A mid-batch [snapshot] call must not
+     rebuild from the half-applied live lists — that build would be
+     stamped with the unmoved pre-batch generation and validate as
+     current, exposing partial batch state, until the exit bump.  The
+     epoch guard serves the stale incumbent instead. *)
+  let db = fresh_db () in
+  Principal.Db.add_member db grps.(0) (Principal.Ind inds.(0));
+  let stale = Principal.Db.snapshot db in
+  Principal.Db.add_member db grps.(1) (Principal.Ind inds.(1));
+  check "slot is stale at batch entry" true
+    (Principal.Db.Snapshot.generation stale < Principal.Db.generation db);
+  Principal.Db.batch db (fun () ->
+      Principal.Db.add_member db grps.(2) (Principal.Ind inds.(2));
+      let during = Principal.Db.snapshot db in
+      check "mid-batch reader is served the stale incumbent" true
+        (during == stale);
+      check "no generation-valid snapshot exists mid-batch" true
+        (Principal.Db.Snapshot.generation during < Principal.Db.generation db);
+      check "batch write invisible through the snapshot" false
+        (Principal.Db.Snapshot.is_member during
+           ~individual_id:(Principal.Db.Snapshot.individual_id during inds.(2))
+           ~group_id:(Principal.Db.Snapshot.group_id during grps.(2))));
+  let after = Principal.Db.snapshot db in
+  check "batch write published at exit" true
+    (Principal.Db.Snapshot.is_member after
+       ~individual_id:(Principal.Db.Snapshot.individual_id after inds.(2))
+       ~group_id:(Principal.Db.Snapshot.group_id after grps.(2)));
+  check "pre-batch churn published too" true
+    (Principal.Db.Snapshot.is_member after
+       ~individual_id:(Principal.Db.Snapshot.individual_id after inds.(1))
+       ~group_id:(Principal.Db.Snapshot.group_id after grps.(1)));
+  (* With no incumbent at all, the mid-batch build is served
+     born-stale: nothing minted from it validates once — or while —
+     the batch publishes. *)
+  let db2 = fresh_db () in
+  Principal.Db.add_member db2 grps.(0) (Principal.Ind inds.(0));
+  Principal.Db.batch db2 (fun () ->
+      Principal.Db.add_member db2 grps.(1) (Principal.Ind inds.(1));
+      let during = Principal.Db.snapshot db2 in
+      check "first-ever mid-batch snapshot is born stale" true
+        (Principal.Db.Snapshot.generation during < Principal.Db.generation db2));
+  check "db2 converges after its batch" true
+    (snapshot_matrix (Principal.Db.snapshot db2)
+    = snapshot_matrix (Principal.Db.full_snapshot db2))
+
 (* {1 Twin-path differential oracle: incremental vs full rebuild} *)
 
 let oracle_probes = ref 0
@@ -443,14 +490,24 @@ let test_deep_dag_linear () =
 
 let test_parallel_readers_during_batches () =
   let db = fresh_db () in
+  (* The sentinel membership exists ONLY inside batches: every batch
+     adds it first and removes it before exiting, so it is part of no
+     published state, ever.  A reader that sees it through a snapshot
+     caught partial batch state — the isolation hole the batch epoch
+     guard closes. *)
+  let sentinel_grp = Principal.group "zz-sentinel" in
+  let sentinel_ind = inds.(0) in
+  Principal.Db.add_group db sentinel_grp;
   Principal.Db.add_member db grps.(0) (Principal.Ind inds.(0));
   ignore (Principal.Db.snapshot db);
   let stop = Atomic.make false in
   let failures = Atomic.make 0 in
+  let leaks = Atomic.make 0 in
   let reader () =
     (* Probe the snapshot and derived reads continuously; every
        observed snapshot must carry a generation no newer than the
-       published counter read after it, and probes must never raise.
+       published counter read after it, probes must never raise, and
+       no snapshot may ever contain the sentinel.
        (Generation is read after the snapshot: the mutator only moves
        it forward, so snapshot generation <= live generation always.) *)
     while not (Atomic.get stop) do
@@ -458,6 +515,11 @@ let test_parallel_readers_during_batches () =
         let snap = Principal.Db.snapshot db in
         let live = Principal.Db.generation db in
         if Principal.Db.Snapshot.generation snap > live then Atomic.incr failures;
+        if
+          Principal.Db.Snapshot.is_member snap
+            ~individual_id:(Principal.Db.Snapshot.individual_id snap sentinel_ind)
+            ~group_id:(Principal.Db.Snapshot.group_id snap sentinel_grp)
+        then Atomic.incr leaks;
         ignore (snapshot_matrix snap);
         Array.iter (fun ind -> ignore (Principal.Db.groups_of db ind)) inds
       with _ -> Atomic.incr failures
@@ -465,17 +527,26 @@ let test_parallel_readers_during_batches () =
   in
   let readers = List.init 3 (fun _ -> Domain.spawn reader) in
   for round = 1 to 200 do
+    (* Unbatched churn between rounds leaves the cached slot stale for
+       the batch that follows — the regression case where a mid-batch
+       rebuild used to stamp partial state as current. *)
+    (if round mod 2 = 0 then
+       Principal.Db.add_member db grps.(1) (Principal.Ind inds.(7))
+     else Principal.Db.remove_member db grps.(1) (Principal.Ind inds.(7)));
     Principal.Db.batch db (fun () ->
+        Principal.Db.add_member db sentinel_grp (Principal.Ind sentinel_ind);
         for k = 0 to 4 do
           let g = (round + k) mod Array.length grps in
           let ind = Principal.Ind inds.((round * 3 + k) mod Array.length inds) in
           if (round + k) mod 3 = 0 then Principal.Db.remove_member db grps.(g) ind
           else Principal.Db.add_member db grps.(g) ind
-        done)
+        done;
+        Principal.Db.remove_member db sentinel_grp (Principal.Ind sentinel_ind))
   done;
   Atomic.set stop true;
   List.iter Domain.join readers;
   check_int "no reader failures" 0 (Atomic.get failures);
+  check_int "no batch state leaked through a snapshot" 0 (Atomic.get leaks);
   (* Settled state: the incremental path agrees with a full rebuild. *)
   check "converged" true
     (snapshot_matrix (Principal.Db.snapshot db)
@@ -552,6 +623,8 @@ let suite =
       test_batch_nested_and_exceptional;
     Alcotest.test_case "batch: readers see published state" `Quick
       test_readers_see_published_state_during_batch;
+    Alcotest.test_case "batch: stale slot cannot leak mid-batch state" `Quick
+      test_stale_slot_batch_isolation;
     QCheck_alcotest.to_alcotest prop_incremental_oracle;
     Alcotest.test_case "oracle covered 10k probes" `Quick test_oracle_probe_volume;
     Alcotest.test_case "sparse compiled form = interpreted walk" `Quick
