@@ -375,7 +375,8 @@ let policy_cmd =
 
 let analyze_cmd =
   let module Finding = Exsec_analysis.Finding in
-  let run file json severity_name dac_only mac_only liberal chains =
+  let run file json severity_name dac_only mac_only liberal chains cert_prefixes
+      cert_validity =
     let severity =
       match Finding.severity_of_string severity_name with
       | Some severity -> severity
@@ -403,6 +404,17 @@ let analyze_cmd =
       in
       if liberal then { base with Policy.overwrite = Mac.Liberal } else base
     in
+    (* An ad-hoc certificate profile from the command line: what a
+       certificate issued under these prefixes/validity would cover,
+       reported next to the chain verdicts. *)
+    let profile =
+      if cert_prefixes = [] && cert_validity = None then None
+      else
+        Some
+          (Exsec_analysis.Certificate.make_profile ~name:"cli"
+             ~prefixes:(List.map Path.of_string cert_prefixes)
+             ?validity:cert_validity ())
+    in
     let report = Exsec_analysis.Analyzer.analyze_text ~policy text in
     let chain_report =
       if not chains then None
@@ -425,7 +437,15 @@ let analyze_cmd =
         match chain_report with
         | None -> []
         | Some chain ->
-          [ "chains", Exsec_analysis.Chain_certify.sites_to_json chain ]
+          ("chains", Exsec_analysis.Chain_certify.sites_to_json chain)
+          ::
+          (match profile with
+          | None -> []
+          | Some profile ->
+            [
+              ( "lifecycle",
+                Exsec_analysis.Chain_certify.lifecycle_to_json ~profile chain );
+            ])
       in
       print_endline (Finding.to_json ~extra kept)
     end
@@ -438,7 +458,29 @@ let analyze_cmd =
         List.iter
           (fun site ->
             Format.printf "  %a@." Exsec_analysis.Chain_certify.pp_site site)
-          chain.Exsec_analysis.Chain_certify.sites);
+          chain.Exsec_analysis.Chain_certify.sites;
+        match profile with
+        | None -> ()
+        | Some profile ->
+          let module Cc = Exsec_analysis.Chain_certify in
+          let module Certificate = Exsec_analysis.Certificate in
+          let redundant =
+            List.filter
+              (fun site -> site.Cc.sr_classification = Cc.Redundant)
+              chain.Cc.sites
+          in
+          let certifiable =
+            List.filter
+              (fun site ->
+                Certificate.profile_admits_path profile
+                  (Path.of_string site.Cc.sr_target))
+              redundant
+          in
+          Format.printf
+            "certificate lifecycle: %d of %d provably-redundant site(s) certifiable \
+             under profile %s@."
+            (List.length certifiable) (List.length redundant)
+            profile.Certificate.profile_name);
       Format.printf "%s: %d error(s), %d warning(s), %d info@." file
         (Finding.count Finding.Error kept)
         (Finding.count Finding.Warning kept)
@@ -474,6 +516,24 @@ let analyze_cmd =
              site as provably-redundant, provably-denied (an error) or \
              runtime-dependent, and flag over-privileged grants on call-graph objects.")
   in
+  let cert_prefixes =
+    Arg.(
+      value & opt_all string []
+      & info [ "cert-prefix" ] ~docv:"PATH"
+          ~doc:
+            "With $(b,--chains): restrict an ad-hoc certificate profile to this path \
+             prefix (repeatable) and report which provably-redundant sites it would \
+             cover (the $(b,lifecycle) JSON member).")
+  in
+  let cert_validity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cert-validity" ] ~docv:"EPOCHS"
+          ~doc:
+            "With $(b,--chains): give the ad-hoc certificate profile a validity \
+             horizon of this many certificate epochs.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -481,7 +541,296 @@ let analyze_cmd =
           contradictory, redundant, dead entries), information-flow channels, and (with \
           $(b,--chains)) interprocedural call-chain verdicts. Exits non-zero when any \
           error-severity finding is reported.")
-    Term.(const run $ file $ json $ severity $ dac_only $ mac_only $ liberal $ chains)
+    Term.(
+      const run $ file $ json $ severity $ dac_only $ mac_only $ liberal $ chains
+      $ cert_prefixes $ cert_validity)
+
+(* {1 certs: the certificate lifecycle over a demo world}
+
+   A small two-extension world with a group-gated service, so the
+   certificates actually record a scoped principal dependency: `certs`
+   lists every certificate's lifecycle state, `certs --self-test`
+   drives the whole lifecycle — scoped survival under batched
+   unrelated churn, delegation with a depth cap, expiry sweep,
+   covered-group revocation, and CRL-style batch revocation — and
+   exits non-zero on any failed check (the CI smoke). *)
+
+let certs_cmd =
+  let module Kernel = Exsec_extsys.Kernel in
+  let module Linker = Exsec_extsys.Linker in
+  let module Extension = Exsec_extsys.Extension in
+  let module Service = Exsec_extsys.Service in
+  let module Value = Exsec_extsys.Value in
+  let module Certificate = Exsec_analysis.Certificate in
+  let module Metrics = Exsec_obs.Metrics in
+  let store = Path.of_string "/svc/get" in
+  let fetch = Path.of_string "/ext/relay/fetch" in
+  let build () =
+    let db = Principal.Db.create () in
+    let admin = Principal.individual "admin" in
+    let alice = Principal.individual "alice" in
+    let bob = Principal.individual "bob" in
+    let staff = Principal.group "staff" in
+    let visitors = Principal.group "visitors" in
+    Principal.Db.add_individual db admin;
+    Principal.Db.add_member db staff (Principal.Ind alice);
+    Principal.Db.add_member db staff (Principal.Ind bob);
+    Principal.Db.add_group db visitors;
+    let hierarchy = Level.hierarchy [ "hi"; "lo" ] in
+    let universe = Category.universe [] in
+    let bottom = Security_class.bottom hierarchy universe in
+    let registry = Clearance.create () in
+    Clearance.register registry ~trusted:true admin
+      (Security_class.top hierarchy universe);
+    Clearance.register registry alice bottom;
+    Clearance.register registry bob bottom;
+    let kernel =
+      Kernel.boot
+        ~policy:(Policy.with_recheck Policy.default)
+        ~registry ~db ~admin ~hierarchy ~universe ()
+    in
+    (* Staff-gated through a group entry: the certificates below record
+       a scoped dependency on exactly this group. *)
+    let meta =
+      Meta.make ~owner:admin
+        ~acl:
+          (Acl.of_entries
+             [
+               Acl.allow_all (Acl.Individual admin);
+               Acl.allow (Acl.Group staff) [ Access_mode.List; Access_mode.Execute ];
+             ])
+        bottom
+    in
+    (match
+       Kernel.install_proc kernel ~subject:(Kernel.admin_subject kernel) store ~meta
+         (Service.proc "get" 0 (Service.const (Value.int 7)))
+     with
+    | Ok () -> ()
+    | Error e -> failwith (Service.error_to_string e));
+    let alice_sub = Subject.make alice bottom in
+    let link ?profile ext =
+      match Linker.link ?profile kernel ~subject:alice_sub ext with
+      | Ok linked -> linked
+      | Error e -> failwith (Format.asprintf "%a" Linker.pp_link_error e)
+    in
+    let _relay =
+      link
+        (Extension.make ~name:"relay" ~author:alice ~imports:[ store ]
+           ~provides:
+             [
+               Extension.provided "fetch" 0 (fun ctx _args -> ctx.Service.call store []);
+             ]
+           ())
+    in
+    let front =
+      link
+        ~profile:
+          (Certificate.make_profile ~name:"svc-callers"
+             ~prefixes:[ Path.of_string "/svc"; Path.of_string "/ext" ]
+             ~max_depth:2 ~validity:4 ())
+        (Extension.make ~name:"front" ~author:alice ~imports:[ fetch ] ())
+    in
+    kernel, db, alice_sub, bob, staff, visitors, front, link
+  in
+  let list_certs () =
+    let kernel, _db, _alice_sub, _bob, _staff, _visitors, _front, _link = build () in
+    Format.printf "%-10s %-9s %-6s %-12s %-6s %-7s %-5s %s@." "EXTENSION" "CERTIFIED"
+      "COVERS" "PROFILE" "ISSUED" "EXPIRES" "DEPTH" "DEPS";
+    List.iter
+      (fun (c : Certificate.t) ->
+        Format.printf "%-10s %-9s %-6d %-12s %-6d %-7s %-5s %d@." c.Certificate.extension
+          (if Certificate.fully_certified c then "yes" else "no")
+          (List.length c.Certificate.covers)
+          (match c.Certificate.profile with
+          | Some p -> p.Certificate.profile_name
+          | None -> "-")
+          c.Certificate.issued_at
+          (match c.Certificate.expires_at with
+          | Some horizon -> string_of_int horizon
+          | None -> "-")
+          (match c.Certificate.delegation with
+          | Some d -> string_of_int d.Certificate.depth
+          | None -> "-")
+          (List.length c.Certificate.deps))
+      (Kernel.certificates kernel);
+    Format.printf "certificate epoch: %d@." (Kernel.cert_epoch kernel);
+    0
+  in
+  let self_test () =
+    Metrics.set_enabled true;
+    let kernel, db, alice_sub, bob, staff, visitors, front, link = build () in
+    let failures = ref 0 in
+    let check label ok detail =
+      Format.printf "  %-48s %s%s@." label
+        (if ok then "ok" else "FAIL")
+        (if ok then "" else " (" ^ detail ^ ")");
+      if not ok then incr failures
+    in
+    (* Issuance: profile-gated, scoped deps recorded, chain pre-mint. *)
+    (match Linker.Linked.certificate front with
+    | None -> check "front holds a certificate" false "no certificate"
+    | Some certificate ->
+      check "front fully certified" (Certificate.fully_certified certificate) "";
+      check "scoped dependency on staff recorded"
+        (List.exists
+           (fun (d : Certificate.dep) ->
+             String.equal (Principal.group_name d.Certificate.dep_group) "staff")
+           certificate.Certificate.deps)
+        "";
+      check "validity horizon from the profile"
+        (certificate.Certificate.expires_at = Some 4)
+        "");
+    check "transitive chain handle pre-minted"
+      (Linker.Linked.chain_handle front store <> None)
+      "";
+    check "chain call serves"
+      (Linker.Linked.call_chain front store [] = Ok (Value.int 7))
+      "";
+    (* Scoped invalidation: 10^3 batched edits to a group no proof
+       consulted move the database generation but revoke nothing. *)
+    let generation0 = Principal.Db.generation db in
+    for batch = 0 to 3 do
+      Kernel.batch_principals kernel (fun () ->
+          for i = 0 to 249 do
+            Principal.Db.add_member db visitors
+              (Principal.Ind (Principal.individual (Printf.sprintf "guest-%d-%d" batch i)))
+          done)
+    done;
+    check "1000 unrelated edits moved the generation"
+      (Principal.Db.generation db > generation0)
+      "";
+    check "certificate survives unrelated churn"
+      (Kernel.certificate_admits kernel ~caller:"front" ~subject:alice_sub fetch)
+      "";
+    check "generation-exact revalidation would have revoked"
+      (match Kernel.certificate_of kernel "front" with
+      | Some c -> c.Certificate.db_generation <> Principal.Db.generation db
+      | None -> false)
+      "";
+    (* Delegation: narrowing meet, recorded depth, capped chain. *)
+    let bottom = Subject.effective_class alice_sub in
+    (match
+       Kernel.delegate_certificate kernel ~parent:"front" ~cap:bottom
+         ~extension:"front/worker" ~imports:[ store ] ()
+     with
+    | Error e -> check "delegation issues" false e
+    | Ok child ->
+      check "delegation issues" true "";
+      check "delegated covers at the meet (cap)"
+        (List.for_all
+           (fun (cover : Certificate.cover) ->
+             Security_class.equal cover.Certificate.e_max bottom)
+           child.Certificate.covers)
+        "";
+      check "delegation depth recorded"
+        (match child.Certificate.delegation with
+        | Some d -> d.Certificate.depth = 1 && d.Certificate.cap = Some bottom
+        | None -> false)
+        "");
+    (match
+       Kernel.delegate_certificate kernel ~parent:"front/worker"
+         ~extension:"front/worker2" ~imports:[ store ] ()
+     with
+    | Ok child ->
+      check "depth 2 inside the profile cap"
+        (match child.Certificate.delegation with
+        | Some d -> d.Certificate.depth = 2
+        | None -> false)
+        ""
+    | Error e -> check "depth 2 inside the profile cap" false e);
+    (match
+       Kernel.delegate_certificate kernel ~parent:"front/worker2"
+         ~extension:"front/worker3" ~imports:[ store ] ()
+     with
+    | Ok _ -> check "depth 3 refused (max_depth 2)" false "delegation granted"
+    | Error _ -> check "depth 3 refused (max_depth 2)" true "");
+    (* Expiry: a 2-epoch certificate outlives one tick, not two; the
+       sweep reclaims it eagerly. *)
+    (try
+       ignore
+         (link
+            ~profile:(Certificate.make_profile ~name:"short" ~validity:2 ())
+            (Extension.make ~name:"timed" ~author:(Subject.principal alice_sub)
+               ~imports:[ store ] ()))
+     with Failure e -> check "timed extension links" false e);
+    check "timed certificate present" (Kernel.certificate_of kernel "timed" <> None) "";
+    let epoch1 = Kernel.advance_cert_epoch kernel in
+    check "alive inside the horizon"
+      (epoch1 = 1 && Kernel.certificate_of kernel "timed" <> None)
+      "";
+    let epoch2 = Kernel.advance_cert_epoch kernel in
+    check "expiry sweep drops at the horizon"
+      (epoch2 = 2 && Kernel.certificate_of kernel "timed" = None)
+      "";
+    (* Covered churn: an edit inside the dependency set fails closed. *)
+    check "admits before the covered edit"
+      (Kernel.certificate_admits kernel ~caller:"front" ~subject:alice_sub fetch)
+      "";
+    Principal.Db.remove_member db staff (Principal.Ind bob);
+    check "covered-group edit revokes (fail closed)"
+      (not (Kernel.certificate_admits kernel ~caller:"front" ~subject:alice_sub fetch))
+      "";
+    (* CRL-style revocation: exactly the matching certificates, their
+       pre-minted handles closed, everything else untouched. *)
+    let revoked = Kernel.revoke_by_prefix kernel (Path.of_string "/ext/relay") in
+    check "CRL by prefix revokes exactly the matching certificate"
+      (revoked = 1 && Kernel.certificate_of kernel "front" = None)
+      (Printf.sprintf "revoked=%d" revoked);
+    check "relay certificate untouched"
+      (Kernel.certificate_of kernel "relay" <> None)
+      "";
+    check "revocation closed the pre-minted chain handle"
+      (match Linker.Linked.call_chain front store [] with
+      | Error (Service.Denied _) -> true
+      | Ok _ | Error _ -> false)
+      "";
+    let revoked = Kernel.revoke_by_principal kernel bob in
+    check "CRL by principal sweeps the remaining covers" (revoked = 3)
+      (Printf.sprintf "revoked=%d" revoked);
+    check "certificate table empty" (Kernel.certificates kernel = []) "";
+    (* Counter conservation: every certificate that entered the table
+       left it through exactly one of expiry or revocation. *)
+    let snap = Metrics.snapshot () in
+    let counter name =
+      match List.assoc_opt name snap.Metrics.counters with Some v -> v | None -> 0
+    in
+    check "cert.issued = cert.expired + cert.revoked"
+      (counter "cert.issued" = counter "cert.expired" + counter "cert.revoked")
+      (Printf.sprintf "issued=%d expired=%d revoked=%d" (counter "cert.issued")
+         (counter "cert.expired") (counter "cert.revoked"));
+    check "cert.delegations counted" (counter "cert.delegations" = 2)
+      (Printf.sprintf "delegations=%d" (counter "cert.delegations"));
+    if !failures = 0 then begin
+      Format.printf "certs self-test: all checks passed@.";
+      0
+    end
+    else begin
+      Format.printf "certs self-test: %d check(s) FAILED@." !failures;
+      1
+    end
+  in
+  let run self_test_flag =
+    try if self_test_flag then self_test () else list_certs () with
+    | Failure message ->
+      Format.printf "certs: setup failed: %s@." message;
+      1
+  in
+  let self_test_flag =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Drive the whole certificate lifecycle over the demo world and exit \
+             non-zero on any failed check (the CI smoke).")
+  in
+  Cmd.v
+    (Cmd.info "certs"
+       ~doc:
+         "List link-time certificates and their lifecycle state (profiles, expiry, \
+          delegation, scoped dependencies) over a demo world; $(b,--self-test) drives \
+          scoped invalidation, delegation caps, expiry sweeps and CRL-style revocation \
+          end to end.")
+    Term.(const run $ self_test_flag)
 
 (* {1 metrics: the observability registry over a live workload} *)
 
@@ -828,7 +1177,7 @@ let main_cmd =
     (Cmd.info "exsecd" ~version:"1.0.0" ~doc)
     [
       scenario_cmd; models_cmd; check_cmd; attacks_cmd; policy_cmd; shell_cmd;
-      analyze_cmd; metrics_cmd; serve_cmd;
+      analyze_cmd; certs_cmd; metrics_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -266,3 +266,38 @@ let sites_to_json report =
     report.sites;
   Buffer.add_char buffer ']';
   Buffer.contents buffer
+
+(* What the lifecycle adds on top of the chain verdicts: given a
+   certificate profile, which provably-redundant sites a certificate
+   issued under it would actually cover.  Pure reporting — the
+   enforcement itself lives in Certificate.issue. *)
+let lifecycle_to_json ~profile report =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer "{\"profile\":";
+  Buffer.add_string buffer (Certificate.profile_to_json profile);
+  Buffer.add_string buffer ",\"sites\":[";
+  List.iteri
+    (fun i sr ->
+      if i > 0 then Buffer.add_char buffer ',';
+      let mode_ok =
+        Access_mode.Set.mem Access_mode.Execute profile.Certificate.allowed_modes
+      in
+      let path_ok =
+        Certificate.profile_admits_path profile (Path.of_string sr.sr_target)
+      in
+      let certifiable, reason =
+        if sr.sr_classification <> Redundant then false, "not provably redundant"
+        else if not mode_ok then false, "execute outside profile modes"
+        else if not path_ok then false, "outside profile prefixes"
+        else true, "within profile"
+      in
+      Buffer.add_string buffer "{\"target\":";
+      Buffer.add_string buffer (Finding.json_string sr.sr_target);
+      Buffer.add_string buffer ",\"certifiable\":";
+      Buffer.add_string buffer (string_of_bool certifiable);
+      Buffer.add_string buffer ",\"reason\":";
+      Buffer.add_string buffer (Finding.json_string reason);
+      Buffer.add_char buffer '}')
+    report.sites;
+  Buffer.add_string buffer "]}";
+  Buffer.contents buffer

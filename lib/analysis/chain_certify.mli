@@ -79,3 +79,11 @@ val sites_to_json : report -> string
 (** The chain-verdict records as a raw JSON array (schema in
     docs/ANALYZE.md): [[{"target":…,"classification":…,"contexts":
     [{"principal":…,"ceiling":…,"verdict":…}]}]]. *)
+
+val lifecycle_to_json : profile:Certificate.profile -> report -> string
+(** What a certificate issued under [profile] would cover: the profile
+    itself plus, for every reachable site,
+    [{"target":…,"certifiable":…,"reason":…}] — certifiable iff the
+    site is provably redundant {e and} inside the profile's modes and
+    prefixes.  Pure reporting; enforcement lives in
+    {!Certificate.issue}.  Schema in docs/ANALYZE.md. *)

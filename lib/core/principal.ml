@@ -266,6 +266,46 @@ module Db = struct
   let individuals db = String_set.elements db.individual_set
   let individual_count db = db.individual_count
 
+  (* The per-group dirty stamp, for scoped-invalidation consumers
+     (link-time certificates record the stamp of every group their
+     proof consulted and revalidate against it).  Reading an int ref
+     is a single word load; mutators are externally serialized and the
+     slot itself exists from registration time, so probing from reader
+     domains is safe under the same contract as the snapshot
+     builder. *)
+  let dirty_stamp db grp =
+    match Hashtbl.find_opt db.dirty grp with
+    | Some slot -> !slot
+    | None -> 0
+
+  (* Every group reachable from [grp] through member edges, [grp]
+     itself included — the exact set of groups whose member-list edits
+     can change [grp]'s transitive member set.  Any is_member answer
+     obtained through [grp] stays fixed while the dirty stamps of this
+     closure do: to alter reachability below [grp] a mutation must
+     touch the member list of some group that is reachable from [grp]
+     at mutation time, and while no closure member has been edited,
+     reachability (hence the closure itself) is unchanged from walk
+     time — so the first effective edit always lands on a recorded
+     group.  Sorted for deterministic certificate dependency lists. *)
+  let group_closure db grp =
+    let visited = Hashtbl.create 8 in
+    let rec walk grp =
+      if not (Hashtbl.mem visited grp) then begin
+        Hashtbl.add visited grp ();
+        List.iter
+          (function
+            | Ind _ -> ()
+            | Grp nested -> walk nested)
+          (match Hashtbl.find_opt db.members grp with
+          | Some slot -> !slot
+          | None -> [])
+      end
+    in
+    walk grp;
+    Hashtbl.fold (fun g () acc -> g :: acc) visited []
+    |> List.sort String.compare
+
   let groups db =
     Hashtbl.fold (fun grp _ acc -> grp :: acc) db.members []
     |> List.sort_uniq String.compare

@@ -131,6 +131,25 @@ module Db : sig
   val is_member : t -> individual -> group -> bool
   (** Transitive membership test. *)
 
+  val dirty_stamp : t -> group -> int
+  (** The generation at which the group's direct member list last
+      changed (0 if never, including unknown groups).  Monotone per
+      group: each effective {!add_member}/{!remove_member} stamps the
+      group with a value strictly above every generation already
+      published, written {e before} the generation bump.  Scoped
+      consumers (link-time certificates) record the stamp of every
+      group their proof consulted and revalidate against it, so
+      membership churn in unrelated groups revokes nothing. *)
+
+  val group_closure : t -> group -> group list
+  (** [grp] plus every group transitively reachable from it through
+      member edges — the set of groups whose member-list edits can
+      change any [is_member _ grp] answer.  While every closure
+      member's {!dirty_stamp} is unchanged, so is the transitive
+      member set (the first effective edit below [grp] necessarily
+      lands on a group that was reachable when the closure was
+      computed).  Sorted by name. *)
+
   val groups_of : t -> individual -> group list
   (** Every group the individual belongs to, transitively; sorted.
       Routed through the current {!Snapshot} (one id probe plus the

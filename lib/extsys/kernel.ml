@@ -30,6 +30,16 @@ let m_handle_use_closed = Metrics.counter "handle.use_after_close"
 let m_handle_reminted = Metrics.counter "handle.reminted"
 let m_handle_call_ns = Metrics.histogram "handle.call_ns"
 
+(* Certificate-lifecycle instruments: every certificate entering the
+   kernel table (cert.issued), the subset entering as delegations
+   (cert.delegations), and the two ways one leaves — an expiry sweep
+   (cert.expired) or a revocation, whether targeted or CRL-style
+   (cert.revoked). *)
+let m_cert_issued = Metrics.counter "cert.issued"
+let m_cert_expired = Metrics.counter "cert.expired"
+let m_cert_revoked = Metrics.counter "cert.revoked"
+let m_cert_delegations = Metrics.counter "cert.delegations"
+
 type entry = ..
 
 type entry +=
@@ -58,6 +68,10 @@ type grant = {
   g_stamp : Reference_monitor.stamp;
   g_metas : Meta.t array;  (* resolution chain, root first, target last *)
   g_gens : int array;  (* generation of each, read before the decision *)
+  g_cert : bool;
+      (* minted on the strength of the caller's certificate rather than
+         a monitor decision — revoking or expiring that certificate
+         must close this handle (its authority dies with the proof) *)
 }
 
 type t = {
@@ -74,6 +88,11 @@ type t = {
   certificates : (string, Exsec_analysis.Certificate.t) Hashtbl.t;
   quota : Quota.t;
   handles : grant Handle.t;
+  cert_epoch : int Atomic.t;
+      (* the kernel's certificate clock: validity horizons are measured
+         in ticks of this counter ([advance_cert_epoch]); independent of
+         the policy epoch, so expiring a certificate never invalidates
+         unrelated cached decisions *)
 }
 
 let monitor kernel = kernel.monitor
@@ -142,6 +161,7 @@ let boot ?policy ?audit_capacity ?audit_shards ?cache ?cache_capacity ?registry 
       certificates = Hashtbl.create 8;
       quota = Quota.create ();
       handles = Handle.create ();
+      cert_epoch = Atomic.make 0;
     }
   in
   let admin_sub = admin_subject kernel in
@@ -209,7 +229,8 @@ let certificate_admits kernel ~caller ~subject path =
   | None -> false
   | Some certificate ->
     Exsec_analysis.Certificate.admits certificate ~monitor:kernel.monitor
-      ~namespace:(Resolver.namespace kernel.resolver) ~subject path
+      ~namespace:(Resolver.namespace kernel.resolver) ~subject
+      ~now:(Atomic.get kernel.cert_epoch) path
 
 let rec make_ctx kernel ~subject ~caller =
   {
@@ -417,9 +438,11 @@ let rec open_handle kernel ~subject ~caller path =
     let n = Array.length metas in
     if n = 0 then -1 else metas.(n - 1).Meta.id
   in
+  let certified =
+    Array.length metas > 0 && certificate_admits kernel ~caller ~subject path
+  in
   let admitted =
-    if Array.length metas > 0 && certificate_admits kernel ~caller ~subject path
-    then begin
+    if certified then begin
       (* The certificate's own validation just re-proved every
          generation it consulted; our pre-reads happened before that
          check and generations are monotone, so the snapshot is
@@ -452,7 +475,7 @@ let rec open_handle kernel ~subject ~caller path =
         Ok
           (Handle.mint kernel.handles
              { g_path = path; g_subject = subject; g_caller = caller; g_target;
-               g_stamp = stamp; g_metas = metas; g_gens = gens }))
+               g_stamp = stamp; g_metas = metas; g_gens = gens; g_cert = certified }))
 
 (* Stale slow path: re-run the fully checked resolution (audited,
    cached) under a fresh pre-read snapshot; serve THIS call from the
@@ -479,7 +502,12 @@ let call_handle_stale kernel h g args =
       if n > 0 && metas.(n - 1).Meta.id = (Namespace.meta node).Meta.id then
         if
           Handle.update kernel.handles h
-            { g with g_target; g_stamp = stamp; g_metas = metas; g_gens = gens }
+            (* A re-mint is justified by the fresh monitor decision,
+               not the certificate, so the slot sheds its cert
+               lineage: a later revocation of that certificate need
+               not (and must not) kill an independently checked grant. *)
+            { g with g_target; g_stamp = stamp; g_metas = metas; g_gens = gens;
+              g_cert = false }
         then Metrics.incr m_handle_reminted;
       (match g_target with
       | Grant_proc (proc, ctx) -> run_grant_proc proc ctx args
@@ -618,12 +646,112 @@ let forget_loaded kernel name =
 
 let find_loaded kernel name = Hashtbl.find_opt kernel.loaded name
 
+(* {1 Certificate lifecycle} *)
+
 let note_certificate kernel certificate =
+  Metrics.incr m_cert_issued;
+  if certificate.Exsec_analysis.Certificate.delegation <> None then
+    Metrics.incr m_cert_delegations;
   Hashtbl.replace kernel.certificates
     certificate.Exsec_analysis.Certificate.extension certificate
 
-let revoke_certificate kernel name = Hashtbl.remove kernel.certificates name
+(* Retiring a certificate must also retire the handles minted on its
+   strength: a grant with [g_cert] set was admitted by the proof, not
+   by a monitor decision, and [call_handle] would keep serving it until
+   unrelated generation drift.  Handles the extension opened through
+   the checked path keep their independent justification and stay. *)
+let drop_certificate kernel name =
+  Hashtbl.remove kernel.certificates name;
+  ignore
+    (Handle.close_where kernel.handles (fun g ->
+         g.g_cert && String.equal g.g_caller name))
+
+let revoke_certificate kernel name =
+  if Hashtbl.mem kernel.certificates name then Metrics.incr m_cert_revoked;
+  drop_certificate kernel name
+
 let certificate_of kernel name = Hashtbl.find_opt kernel.certificates name
+
+let certificates kernel =
+  Hashtbl.fold (fun _ certificate acc -> certificate :: acc) kernel.certificates []
+  |> List.sort (fun a b ->
+         String.compare a.Exsec_analysis.Certificate.extension
+           b.Exsec_analysis.Certificate.extension)
+
+let cert_epoch kernel = Atomic.get kernel.cert_epoch
+
+(* Eager expiry: collect-then-drop so the table is never mutated while
+   folded over.  The lazy half needs no sweep at all — [admits] carries
+   the current epoch and refuses expired certificates on its own; the
+   sweep exists to reclaim table entries and close cert-minted handles
+   promptly rather than on first use. *)
+let sweep_expired_certificates kernel =
+  let now = Atomic.get kernel.cert_epoch in
+  let dead =
+    Hashtbl.fold
+      (fun name certificate acc ->
+        if Exsec_analysis.Certificate.expired certificate ~now then name :: acc else acc)
+      kernel.certificates []
+  in
+  List.iter
+    (fun name ->
+      Metrics.incr m_cert_expired;
+      drop_certificate kernel name)
+    dead;
+  List.length dead
+
+let advance_cert_epoch kernel =
+  let now = 1 + Atomic.fetch_and_add kernel.cert_epoch 1 in
+  ignore (sweep_expired_certificates kernel);
+  now
+
+(* CRL-style revocation: invalidate exactly the certificates whose
+   covers or proof chains intersect the revoked principal or path
+   prefix — no global epoch bump, so every other certificate, cached
+   decision, and handle in the kernel is untouched. *)
+let revoke_where kernel matches =
+  let hit =
+    Hashtbl.fold
+      (fun name certificate acc -> if matches certificate then name :: acc else acc)
+      kernel.certificates []
+  in
+  List.iter
+    (fun name ->
+      Metrics.incr m_cert_revoked;
+      drop_certificate kernel name)
+    hit;
+  List.length hit
+
+let revoke_by_principal kernel principal =
+  revoke_where kernel (fun certificate ->
+      List.exists
+        (fun (cover : Exsec_analysis.Certificate.cover) ->
+          Principal.equal_individual cover.principal principal)
+        certificate.Exsec_analysis.Certificate.covers)
+
+let revoke_by_prefix kernel prefix =
+  revoke_where kernel (fun certificate ->
+      List.exists
+        (fun (proof : Exsec_analysis.Certificate.import_proof) ->
+          Path.is_prefix prefix proof.import)
+        certificate.Exsec_analysis.Certificate.proofs)
+
+let delegate_certificate kernel ~parent ?cap ?profile ~extension ~imports () =
+  match kernel.registry with
+  | None -> Error "kernel booted without a clearance registry"
+  | Some registry -> (
+    match Hashtbl.find_opt kernel.certificates parent with
+    | None -> Error (parent ^ ": no certificate to delegate from")
+    | Some parent_certificate -> (
+      match
+        Exsec_analysis.Certificate.delegate ~monitor:kernel.monitor ~registry
+          ~namespace:(namespace kernel) ~parent:parent_certificate ?cap ?profile
+          ~now:(Atomic.get kernel.cert_epoch) ~extension ~imports ()
+      with
+      | Error _ as e -> e
+      | Ok certificate ->
+        note_certificate kernel certificate;
+        Ok certificate))
 
 let loaded_extensions kernel =
   Hashtbl.fold (fun name _ acc -> name :: acc) kernel.loaded [] |> List.sort String.compare

@@ -238,22 +238,90 @@ val forget_loaded : t -> string -> unit
 val find_loaded : t -> string -> (Extension.t * Path.t list) option
 val loaded_extensions : t -> string list
 
-(** {1 Link-time certificates} (issued by {!Linker})
+(** {1 Certificate lifecycle} (certificates issued by {!Linker})
 
     A certificate lets {!call} skip the reference monitor for an
     import it proved [Always_allow] at link time, as long as the
-    certificate still validates — policy epoch, principal-database
-    generation and every consulted metadata generation unchanged, and
-    the calling subject inside the proved domain.  Stale certificates
-    fail closed into the fully checked path; {!Reference_monitor.set_policy}
-    (epoch bump) revokes every certificate at once. *)
+    certificate still validates — policy epoch, every consulted
+    metadata generation, and the dirty stamp of every group its proof
+    depended on unchanged, the calling subject inside the proved
+    domain, and the validity horizon (if its profile set one) not yet
+    reached at the kernel's certificate epoch.  Stale certificates
+    fail closed into the fully checked path;
+    {!Reference_monitor.set_policy} (epoch bump) still revokes every
+    certificate at once, but membership churn now revokes only the
+    certificates whose proofs actually depended on the edited groups
+    (see {!Exsec_analysis.Certificate}).
+
+    Counters: [cert.issued] and [cert.delegations] on
+    {!note_certificate}, [cert.revoked] on any revocation,
+    [cert.expired] on sweep. *)
 
 val note_certificate : t -> Exsec_analysis.Certificate.t -> unit
+
 val revoke_certificate : t -> string -> unit
+(** Drops the extension's certificate {e and closes every handle
+    minted on its strength} (certificate-admitted mints, see
+    {!open_handle}) — a revoked proof must stop granting immediately,
+    not at the next unrelated generation drift.  Handles the extension
+    opened through the fully checked path carry their own
+    justification and survive. *)
+
 val certificate_of : t -> string -> Exsec_analysis.Certificate.t option
 
+val certificates : t -> Exsec_analysis.Certificate.t list
+(** Every certificate currently held, sorted by extension name (the
+    [exsecd certs] listing). *)
+
+val cert_epoch : t -> int
+(** The kernel's certificate clock.  Validity horizons
+    ({!Exsec_analysis.Certificate.t.expires_at}) are measured in ticks
+    of this counter; it is independent of the policy epoch, so expiry
+    never invalidates unrelated cached decisions or handles. *)
+
+val advance_cert_epoch : t -> int
+(** Tick the certificate clock and eagerly sweep: certificates whose
+    horizon has passed are dropped and their certificate-minted
+    handles closed ({!sweep_expired_certificates}).  Returns the new
+    epoch. *)
+
+val sweep_expired_certificates : t -> int
+(** Drop every expired certificate (and close its certificate-minted
+    handles) without advancing the clock; returns how many were
+    swept.  Purely an eager-reclamation aid: {!certificate_admits}
+    already refuses expired certificates on its own. *)
+
+val revoke_by_principal : t -> Principal.individual -> int
+(** CRL-style batch revocation: drop exactly the certificates whose
+    cover includes the principal (closing their certificate-minted
+    handles), with no global epoch bump — certificates that never
+    proved anything about the principal are untouched.  Returns how
+    many were revoked. *)
+
+val revoke_by_prefix : t -> Path.t -> int
+(** Drop exactly the certificates with a proved import under the path
+    prefix, same contract as {!revoke_by_principal}. *)
+
+val delegate_certificate :
+  t ->
+  parent:string ->
+  ?cap:Security_class.t ->
+  ?profile:Exsec_analysis.Certificate.profile ->
+  extension:string ->
+  imports:Path.t list ->
+  unit ->
+  (Exsec_analysis.Certificate.t, string) result
+(** Re-certify a sub-extension under the parent extension's
+    certificate at the meet of the parent's proved cover and [cap]
+    (see {!Exsec_analysis.Certificate.delegate}), and install the
+    child certificate in the kernel table.  Fails when the kernel has
+    no clearance registry, the parent holds no certificate, the
+    parent is uncertified or expired, or the delegation depth exceeds
+    the effective profile's cap. *)
+
 val certificate_admits : t -> caller:string -> subject:Subject.t -> Path.t -> bool
-(** [true] when the caller's certificate admits this call right now
+(** [true] when the caller's certificate admits this call right now,
+    at the kernel's current certificate epoch
     (see {!Exsec_analysis.Certificate.admits}). *)
 
 val call_graph : ?extra:Extension.t list -> t -> Exsec_analysis.Callgraph.t

@@ -224,7 +224,7 @@ let loaded_by kernel author =
          | None -> false)
        (Kernel.loaded_extensions kernel))
 
-let link_unmetered kernel ~subject (extension : Extension.t) =
+let link_unmetered ?profile kernel ~subject (extension : Extension.t) =
   let name = extension.Extension.ext_name in
   let quota_check =
     Quota.check_extensions (Kernel.quota kernel) extension.Extension.author
@@ -312,23 +312,48 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
         let certificate =
           Exsec_analysis.Certificate.issue ~monitor:(Kernel.monitor kernel) ~registry
             ~namespace:(Kernel.namespace kernel)
-            ?static_class:extension.Extension.static_class ~extension:name
+            ?static_class:extension.Extension.static_class ?profile
+            ~now:(Kernel.cert_epoch kernel) ~extension:name
             ~imports:(all_imports @ transitive) ()
         in
         Some certificate, transitive
     in
     Metrics.add m_chain_proofs (List.length chain_targets);
+    (* The certificate enters the kernel table BEFORE the chain table
+       is minted: chain handles exist only on the strength of the
+       chain proofs folded into the certificate, so they must mint
+       through the certificate-admitted path and be marked with its
+       lineage — revoking or expiring the certificate then closes
+       exactly them.  (Import handles were minted above, against full
+       monitor decisions; they carry their own justification.)  A
+       failure below revokes the certificate again, so a failed link
+       leaves no certificate behind. *)
+    Option.iter (Kernel.note_certificate kernel) certificate;
+    let chain_proved path =
+      match certificate with
+      | None -> false
+      | Some certificate -> (
+        match Exsec_analysis.Certificate.verdict_for certificate path with
+        | Some verdict ->
+          Exsec_analysis.Verdict.equal verdict Exsec_analysis.Verdict.Always_allow
+        | None -> false)
+    in
     let chain_table =
       List.filter_map
         (fun path ->
-          match Kernel.open_handle kernel ~subject:capped ~caller:name path with
-          | Ok handle ->
-            Metrics.incr m_chain_handles;
-            Some (path, handle)
-          | Error _ ->
-            (* the proved state moved between analysis and mint: fail
-               closed, the checked path still covers the site *)
-            None)
+          (* A site the certificate itself did not certify — outside
+             the profile's modes or prefixes — gets no pre-minted
+             handle: the chain table carries certificate lineage only. *)
+          if not (chain_proved path) then None
+          else
+            match Kernel.open_handle kernel ~subject:capped ~caller:name path with
+            | Ok handle ->
+              Metrics.incr m_chain_handles;
+              Some (path, handle)
+            | Error _ ->
+              (* the proved state moved between analysis and mint: fail
+                 closed, the checked path still covers the site *)
+              None)
         chain_targets
     in
     let linked =
@@ -339,7 +364,6 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
     in
     let finish () =
       Kernel.note_loaded kernel extension ~installed;
-      Option.iter (Kernel.note_certificate kernel) certificate;
       Ok linked
     in
     match extension.Extension.init with
@@ -357,12 +381,14 @@ let link_unmetered kernel ~subject (extension : Extension.t) =
     in
     (match result with
     | Ok _ -> ()
-    | Error _ -> ignore (Kernel.close_handles_for kernel name));
+    | Error _ ->
+      Kernel.revoke_certificate kernel name;
+      ignore (Kernel.close_handles_for kernel name));
     result
   end)
 
-let link kernel ~subject extension =
-  let result = link_unmetered kernel ~subject extension in
+let link ?profile kernel ~subject extension =
+  let result = link_unmetered ?profile kernel ~subject extension in
   (match result with
   | Ok linked ->
     Metrics.incr m_links;

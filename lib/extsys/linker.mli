@@ -101,10 +101,19 @@ module Linked : sig
 end
 
 val link :
-  Kernel.t -> subject:Subject.t -> Extension.t -> (Linked.t, link_error) result
+  ?profile:Exsec_analysis.Certificate.profile ->
+  Kernel.t ->
+  subject:Subject.t ->
+  Extension.t ->
+  (Linked.t, link_error) result
 (** Link an extension on the authority of [subject] (the thread
     performing the load; its rights, capped by the extension's static
-    class, are what the import/extend checks consult). *)
+    class, are what the import/extend checks consult).  [profile]
+    constrains the certificate issued for the extension — modes and
+    path prefixes outside the profile are never certified, and the
+    profile's validity horizon starts the certificate's expiry clock
+    ({!Kernel.advance_cert_epoch}).  Linking succeeds either way;
+    uncertified imports simply stay on the checked path. *)
 
 val unload : Kernel.t -> subject:Subject.t -> string -> (unit, Service.error) result
 (** Remove a loaded extension: its handlers leave the dispatcher and
